@@ -1,0 +1,98 @@
+// Ablation: direction optimization on/off — quantifies how much of the
+// traversal speed comes from the bottom-up phase (Section 2.1) for both
+// the single-source and the multi-source algorithms, plus the alpha
+// sensitivity of the switch heuristic.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "bfs/batch.h"
+#include "bfs/gteps.h"
+#include "bfs/multi_source.h"
+#include "graph/components.h"
+#include "sched/worker_pool.h"
+
+namespace pbfs {
+namespace {
+
+int Main(int argc, char** argv) {
+  int64_t scale = 15;
+  int64_t threads = bench::DefaultThreads();
+  int64_t sources_count = 64;
+  FlagParser flags("Ablation: direction optimization and alpha sweep");
+  flags.AddInt64("scale", &scale, "Kronecker scale");
+  flags.AddInt64("threads", &threads, "worker threads");
+  flags.AddInt64("sources", &sources_count, "sources per measurement");
+  flags.Parse(argc, argv);
+
+  Graph g = bench::BuildKronecker(
+      static_cast<int>(scale), 16, Labeling::kStriped,
+      {.num_workers = static_cast<int>(threads), .split_size = 1024});
+  ComponentInfo components = ComputeComponents(g);
+  std::vector<Vertex> sources =
+      PickSources(g, static_cast<int>(sources_count), 53);
+
+  bench::PrintTitle("Ablation: hybrid vs pure top-down (GTEPS)");
+  std::printf("%-16s %12s %12s %10s\n", "algorithm", "top-down", "hybrid",
+              "ratio");
+  bench::PrintRule(56);
+
+  auto run_ms = [&](bool bottom_up) {
+    BatchOptions options;
+    options.num_threads = static_cast<int>(threads);
+    options.bfs.enable_bottom_up = bottom_up;
+    return RunMultiSourceBatches(g, sources, BatchMode::kParallel, options,
+                                 &components)
+        .gteps;
+  };
+  auto run_sms = [&](SmsVariant variant, bool bottom_up) {
+    BatchOptions options;
+    options.num_threads = static_cast<int>(threads);
+    options.bfs.enable_bottom_up = bottom_up;
+    std::span<const Vertex> few(sources.data(),
+                                std::min<size_t>(sources.size(), 8));
+    return RunSingleSourceSweep(g, few, variant, options, &components).gteps;
+  };
+
+  double ms_td = run_ms(false);
+  double ms_hy = run_ms(true);
+  std::printf("%-16s %12.3f %12.3f %9.1fx\n", "MS-PBFS", ms_td, ms_hy,
+              ms_hy / ms_td);
+  for (SmsVariant variant : {SmsVariant::kBit, SmsVariant::kByte,
+                             SmsVariant::kQueue}) {
+    double td = run_sms(variant, false);
+    double hy = run_sms(variant, true);
+    std::printf("%-16s %12.3f %12.3f %9.1fx\n", SmsVariantName(variant), td,
+                hy, hy / td);
+  }
+
+  // Alpha sensitivity for SMS-PBFS (bit): how early the switch happens.
+  bench::PrintTitle("alpha sweep (SMS-PBFS bit, beta = 18)");
+  std::printf("%8s %12s %16s\n", "alpha", "GTEPS", "bottom-up iters");
+  bench::PrintRule(40);
+  WorkerPool pool({.num_workers = static_cast<int>(threads),
+                   .pin_threads = false});
+  auto bfs = MakeSmsPbfs(g, SmsVariant::kBit, &pool);
+  std::span<const Vertex> few(sources.data(),
+                              std::min<size_t>(sources.size(), 8));
+  for (double alpha : {1.0, 4.0, 15.0, 60.0, 240.0}) {
+    BfsOptions options;
+    options.alpha = alpha;
+    int bottom_up_iters = 0;
+    Timer timer;
+    for (Vertex s : few) {
+      BfsResult r = bfs->Run(s, options, nullptr);
+      bottom_up_iters += r.bottom_up_iterations;
+    }
+    double seconds = timer.ElapsedSeconds();
+    std::printf("%8.1f %12.3f %16d\n", alpha,
+                Gteps(TraversedEdges(components, few), seconds),
+                bottom_up_iters);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pbfs
+
+int main(int argc, char** argv) { return pbfs::Main(argc, argv); }

@@ -1,0 +1,100 @@
+// Ablation: adjacency-list neighbor ordering for the bottom-up scan.
+//
+// Bottom-up probes a vertex's neighbors until one is found in the
+// frontier; since hubs are discovered in the first hot iterations,
+// putting high-degree neighbors first shortens the probe sequence
+// (Yasui et al.'s neighbor ordering, referenced in Sections 2.1/4.1).
+// Measures SMS-PBFS and MS-PBFS with id-sorted vs degree-sorted
+// adjacency, plus the probe counts that explain the difference.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "bfs/gteps.h"
+#include "bfs/multi_source.h"
+#include "bfs/single_source.h"
+#include "graph/components.h"
+#include "sched/worker_pool.h"
+
+namespace pbfs {
+namespace {
+
+int Main(int argc, char** argv) {
+  int64_t scale = 16;
+  int64_t threads = bench::DefaultThreads();
+  int64_t trials = 3;
+  FlagParser flags("Ablation: neighbor ordering for bottom-up probes");
+  flags.AddInt64("scale", &scale, "Kronecker scale");
+  flags.AddInt64("threads", &threads, "worker threads");
+  flags.AddInt64("trials", &trials, "trials; median reported");
+  flags.Parse(argc, argv);
+
+  WorkerPool pool({.num_workers = static_cast<int>(threads),
+                   .pin_threads = false});
+  Graph by_id = bench::BuildKronecker(
+      static_cast<int>(scale), 16, Labeling::kStriped,
+      {.num_workers = static_cast<int>(threads), .split_size = 1024});
+  Graph by_degree = SortNeighborsByDegree(by_id, &pool);
+  ComponentInfo components = ComputeComponents(by_id);
+  std::vector<Vertex> sources = PickSources(by_id, 64, 59);
+  std::span<const Vertex> few(sources.data(), 8);
+  const uint64_t sms_edges = TraversedEdges(components, few);
+  const uint64_t ms_edges = TraversedEdges(components, sources);
+
+  bench::PrintTitle("Ablation: id-sorted vs degree-sorted adjacency");
+  std::printf("%-16s %14s %14s %16s\n", "algorithm", "by-id GTEPS",
+              "by-deg GTEPS", "probes saved");
+  bench::PrintRule(64);
+
+  auto probes = [&](const Graph& g) {
+    // Bottom-up neighbor probes of one SMS-PBFS run, via instrumentation.
+    TraversalStats stats;
+    BfsOptions options;
+    options.stats = &stats;
+    auto bfs = MakeSmsPbfs(g, SmsVariant::kBit, &pool);
+    bfs->Run(few[0], options, nullptr);
+    uint64_t total = 0;
+    for (const TraversalStats::Iteration& iter : stats.iterations()) {
+      if (iter.direction != Direction::kBottomUp) continue;
+      for (uint64_t p : iter.neighbors_visited) total += p;
+    }
+    return total;
+  };
+  const uint64_t probes_id = probes(by_id);
+  const uint64_t probes_degree = probes(by_degree);
+
+  auto sms_gteps = [&](const Graph& g) {
+    auto bfs = MakeSmsPbfs(g, SmsVariant::kBit, &pool);
+    double seconds = bench::MedianSeconds(static_cast<int>(trials), [&] {
+      for (Vertex s : few) bfs->Run(s, BfsOptions{}, nullptr);
+    });
+    return Gteps(sms_edges, seconds);
+  };
+  std::printf("%-16s %14.3f %14.3f %15.1f%%\n", "sms-pbfs-bit",
+              sms_gteps(by_id), sms_gteps(by_degree),
+              100.0 * (1.0 - static_cast<double>(probes_degree) /
+                                 static_cast<double>(probes_id)));
+
+  auto ms_gteps = [&](const Graph& g) {
+    auto bfs = MakeMsPbfs(g, 64, &pool);
+    double seconds = bench::MedianSeconds(static_cast<int>(trials), [&] {
+      bfs->Run(sources, BfsOptions{}, nullptr);
+    });
+    return Gteps(ms_edges, seconds);
+  };
+  std::printf("%-16s %14.3f %14.3f %16s\n", "ms-pbfs", ms_gteps(by_id),
+              ms_gteps(by_degree), "-");
+
+  std::printf(
+      "\nexpected shape: degree-first adjacency cuts bottom-up probes. "
+      "Note the interplay with labeling: under striped/degree labelings "
+      "hubs already have small ids, so id order approximates degree order "
+      "and the gain is modest; under random labeling the reordering is "
+      "worth far more.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pbfs
+
+int main(int argc, char** argv) { return pbfs::Main(argc, argv); }

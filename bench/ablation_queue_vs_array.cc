@@ -1,0 +1,64 @@
+// Ablation: array-based SMS-PBFS vs a queue-based parallel
+// direction-optimizing BFS — the central design argument of the paper
+// (Sections 2.3 / 6): sparse frontier queues centralize next-frontier
+// construction and contend under parallelism, while the fixed-size
+// arrays of SMS-PBFS have no shared insertion point at all.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "bfs/batch.h"
+#include "graph/components.h"
+
+namespace pbfs {
+namespace {
+
+int Main(int argc, char** argv) {
+  int64_t scale = 16;
+  int64_t max_threads = bench::DefaultThreads();
+  int64_t sources_count = 8;
+  FlagParser flags("Ablation: array-based vs queue-based parallel BFS");
+  flags.AddInt64("scale", &scale, "Kronecker scale");
+  flags.AddInt64("max_threads", &max_threads, "largest thread count");
+  flags.AddInt64("sources", &sources_count, "sources per measurement");
+  flags.Parse(argc, argv);
+
+  Graph g = bench::BuildKronecker(
+      static_cast<int>(scale), 16, Labeling::kStriped,
+      {.num_workers = static_cast<int>(max_threads), .split_size = 1024});
+  ComponentInfo components = ComputeComponents(g);
+  std::vector<Vertex> sources =
+      PickSources(g, static_cast<int>(sources_count), 47);
+
+  bench::PrintTitle(
+      "Ablation: array-based (S)MS-PBFS vs queue-based parallel BFS "
+      "(GTEPS)");
+  std::printf("%8s %12s %12s %12s\n", "threads", "sms-bit", "sms-byte",
+              "queue");
+  bench::PrintRule(48);
+  for (int64_t threads = 1; threads <= max_threads; threads *= 2) {
+    BatchOptions options;
+    options.num_threads = static_cast<int>(threads);
+    double bit = RunSingleSourceSweep(g, sources, SmsVariant::kBit, options,
+                                      &components)
+                     .gteps;
+    double byte = RunSingleSourceSweep(g, sources, SmsVariant::kByte,
+                                       options, &components)
+                      .gteps;
+    double queue = RunSingleSourceSweep(g, sources, SmsVariant::kQueue,
+                                        options, &components)
+                       .gteps;
+    std::printf("%8lld %12.3f %12.3f %12.3f\n",
+                static_cast<long long>(threads), bit, byte, queue);
+  }
+  std::printf(
+      "\nexpected shape (multi-core hardware): the queue variant tracks "
+      "the array variants at low thread counts but falls behind as "
+      "threads contend on the shared queue tail and its cache lines.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pbfs
+
+int main(int argc, char** argv) { return pbfs::Main(argc, argv); }

@@ -1,0 +1,84 @@
+// Comparator: iBFS-style joint-frontier-queue multi-source BFS vs the
+// array-based MS-BFS / MS-PBFS kernels, sequentially and per-core.
+//
+// The paper compares against iBFS on the KG0 graph (Section 5.3.2) and
+// observes that the queue-sharing design, ported to CPUs, loses to the
+// array-based approach; this harness reproduces that comparison shape
+// on the KG0-style dense Kronecker proxy and a standard Graph500 graph.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "bfs/gteps.h"
+#include "bfs/multi_source.h"
+#include "graph/components.h"
+#include "sched/executor.h"
+
+namespace pbfs {
+namespace {
+
+int Main(int argc, char** argv) {
+  int64_t scale = 14;
+  int64_t kg0_scale = 11;
+  int64_t kg0_edge_factor = 128;
+  int64_t trials = 3;
+  FlagParser flags("Comparator: JFQ (iBFS-style) vs array-based MS-BFS");
+  flags.AddInt64("scale", &scale, "Graph500 Kronecker scale");
+  flags.AddInt64("kg0_scale", &kg0_scale, "KG0 proxy scale");
+  flags.AddInt64("kg0_edge_factor", &kg0_edge_factor,
+                 "KG0 proxy edge factor (paper: 1024)");
+  flags.AddInt64("trials", &trials, "trials; median reported");
+  flags.Parse(argc, argv);
+
+  struct TestGraph {
+    std::string name;
+    Graph graph;
+  };
+  std::vector<TestGraph> graphs;
+  graphs.push_back({"kronecker-" + std::to_string(scale),
+                    bench::BuildKronecker(static_cast<int>(scale), 16,
+                                          Labeling::kStriped,
+                                          {.num_workers = 1,
+                                           .split_size = 1024})});
+  graphs.push_back({"kg0-proxy",
+                    Kronecker({.scale = static_cast<int>(kg0_scale),
+                               .edge_factor =
+                                   static_cast<int>(kg0_edge_factor),
+                               .seed = 2})});
+
+  bench::PrintTitle(
+      "single-thread multi-source comparison (GTEPS, one 64-batch)");
+  std::printf("%-16s %12s %12s %14s\n", "graph", "jfq(ibfs)", "ms-bfs",
+              "ms-pbfs(seq)");
+  bench::PrintRule(60);
+  for (const TestGraph& tg : graphs) {
+    ComponentInfo components = ComputeComponents(tg.graph);
+    std::vector<Vertex> sources = PickSources(tg.graph, 64, 3);
+    const uint64_t edges = TraversedEdges(components, sources);
+
+    auto measure = [&](MultiSourceBfsBase* bfs) {
+      double seconds = bench::MedianSeconds(static_cast<int>(trials), [&] {
+        bfs->Run(sources, BfsOptions{}, nullptr);
+      });
+      return Gteps(edges, seconds);
+    };
+    SerialExecutor serial;
+    auto jfq = MakeJfqMsBfs(tg.graph, 64);
+    auto msbfs = MakeMsBfs(tg.graph, 64);
+    auto mspbfs = MakeMsPbfs(tg.graph, 64, &serial);
+    std::printf("%-16s %12.3f %12.3f %14.3f\n", tg.name.c_str(),
+                measure(jfq.get()), measure(msbfs.get()),
+                measure(mspbfs.get()));
+  }
+  std::printf(
+      "\nexpected shape: the array-based kernels beat the sparse JFQ "
+      "design in the hot phase (no queue maintenance, direction "
+      "switching); the gap widens on the dense KG0-style graph, matching "
+      "the paper's iBFS-CPU observation.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pbfs
+
+int main(int argc, char** argv) { return pbfs::Main(argc, argv); }

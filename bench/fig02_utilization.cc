@@ -1,0 +1,89 @@
+// Figure 2: CPU utilization of MS-BFS vs MS-PBFS as the number of BFS
+// sources increases (batch size 64).
+//
+// MS-BFS can only use one thread per 64-source batch, so with T threads
+// utilization steps up by 1/T every 64 sources and reaches 100% only at
+// 64*T sources. MS-PBFS parallelizes inside a batch and is flat at 100%.
+//
+// The paper's curve is a property of the deployment model, not of the
+// hardware, so the binary prints (a) the analytic utilization for the
+// paper's 60-thread machine and (b) measured utilization (threads that
+// performed work / threads available) for the local thread count.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "bfs/batch.h"
+#include "graph/components.h"
+
+namespace pbfs {
+namespace {
+
+double ModelUtilization(int sources, int batch_size, int threads) {
+  int batches = (sources + batch_size - 1) / batch_size;
+  return 100.0 * std::min(batches, threads) / threads;
+}
+
+int Main(int argc, char** argv) {
+  int64_t scale = 13;
+  int64_t threads = bench::DefaultThreads();
+  int64_t paper_threads = 60;
+  int64_t batch = 64;
+  int64_t max_sources = 4096;
+  FlagParser flags("Figure 2: CPU utilization vs number of sources");
+  flags.AddInt64("scale", &scale, "Kronecker scale for measured points");
+  flags.AddInt64("threads", &threads, "local threads for measured points");
+  flags.AddInt64("paper_threads", &paper_threads,
+                 "thread count for the analytic model (paper: 60)");
+  flags.AddInt64("batch", &batch, "sources per batch (paper: 64)");
+  flags.AddInt64("max_sources", &max_sources, "largest source count");
+  flags.Parse(argc, argv);
+
+  bench::PrintTitle("Figure 2: CPU utilization (%) vs number of sources");
+  std::printf("model machine: %lld threads, batch size %lld\n",
+              static_cast<long long>(paper_threads),
+              static_cast<long long>(batch));
+  std::printf("%10s %18s %18s\n", "sources", "MS-BFS util(%)",
+              "MS-PBFS util(%)");
+  bench::PrintRule(50);
+  for (int64_t sources = batch; sources <= max_sources; sources *= 2) {
+    std::printf("%10lld %18.1f %18.1f\n", static_cast<long long>(sources),
+                ModelUtilization(sources, batch, paper_threads), 100.0);
+  }
+
+  // Measured: threads that actually processed a batch on this machine.
+  Graph g = bench::BuildKronecker(static_cast<int>(scale), 16,
+                                  Labeling::kStriped,
+                                  {.num_workers = static_cast<int>(threads),
+                                   .split_size = 1024});
+  bench::PrintTitle("measured on this machine");
+  std::printf("local threads: %lld, graph scale %lld\n",
+              static_cast<long long>(threads), static_cast<long long>(scale));
+  std::printf("%10s %22s %22s\n", "sources", "MS-BFS threads used",
+              "MS-PBFS threads used");
+  bench::PrintRule(60);
+  for (int64_t sources = batch; sources <= std::min<int64_t>(max_sources, 512);
+       sources *= 2) {
+    std::vector<Vertex> srcs = PickSources(g, static_cast<int>(sources), 7);
+    BatchOptions options;
+    options.num_threads = static_cast<int>(threads);
+    options.batch_size = static_cast<int>(batch);
+    options.msbfs_baseline = true;
+    BatchReport per_core = RunMultiSourceBatches(
+        g, srcs, BatchMode::kSequentialPerCore, options, nullptr);
+    options.msbfs_baseline = false;
+    BatchReport parallel = RunMultiSourceBatches(
+        g, srcs, BatchMode::kParallel, options, nullptr);
+    std::printf("%10lld %15d / %-4lld %15d / %-4lld\n",
+                static_cast<long long>(sources), per_core.threads_used,
+                static_cast<long long>(threads), parallel.threads_used,
+                static_cast<long long>(threads));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pbfs
+
+int main(int argc, char** argv) { return pbfs::Main(argc, argv); }

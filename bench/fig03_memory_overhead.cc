@@ -1,0 +1,85 @@
+// Figure 3: memory required for the dynamic BFS state relative to the
+// graph size, as the thread count grows.
+//
+// Assumptions follow the paper: Kronecker-style graphs with 16 edges per
+// vertex, 32-bit vertex ids (8 bytes per undirected edge in the CSR),
+// 64-bit bitsets. MS-BFS needs one full instance per thread; MS-PBFS
+// needs exactly one instance regardless of threads. The "traditional
+// BFS" row shows the byte-array single-source state for comparison.
+//
+// Besides the analytic model the binary cross-checks the formula against
+// the live StateBytes() accounting of real instances.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "bfs/multi_source.h"
+#include "bfs/single_source.h"
+#include "sched/executor.h"
+
+namespace pbfs {
+namespace {
+
+int Main(int argc, char** argv) {
+  int64_t edge_factor = 16;
+  int64_t width = 64;
+  int64_t max_threads = 60;
+  int64_t verify_scale = 12;
+  FlagParser flags("Figure 3: relative memory overhead vs thread count");
+  flags.AddInt64("edge_factor", &edge_factor, "edges per vertex (paper: 16)");
+  flags.AddInt64("width", &width, "bitset width in bits (paper: 64)");
+  flags.AddInt64("max_threads", &max_threads, "largest thread count");
+  flags.AddInt64("verify_scale", &verify_scale,
+                 "scale for the live-instance cross-check");
+  flags.Parse(argc, argv);
+
+  // Per-vertex bytes: graph = edge_factor edges/vertex * 2 directions *
+  // 4 bytes; state = 3 arrays * width/8 bytes.
+  const double graph_bytes_per_vertex =
+      static_cast<double>(edge_factor) * 2.0 * 4.0;
+  const double instance_bytes_per_vertex = 3.0 * width / 8.0;
+
+  bench::PrintTitle(
+      "Figure 3: BFS state memory relative to graph size vs threads");
+  std::printf("graph: %lld edges/vertex; bitset width %lld\n",
+              static_cast<long long>(edge_factor),
+              static_cast<long long>(width));
+  std::printf("%10s %12s %12s %14s\n", "threads", "MS-BFS", "MS-PBFS",
+              "queue BFS");
+  bench::PrintRule(52);
+  for (int64_t t = 1; t <= max_threads; t = t < 6 ? t + 1 : t + 6) {
+    double msbfs = instance_bytes_per_vertex * t / graph_bytes_per_vertex;
+    double mspbfs = instance_bytes_per_vertex / graph_bytes_per_vertex;
+    // Traditional queue BFS per instance: byte seen + two sparse queues
+    // (~4 bytes amortized); shown for the paper's "fraction of the
+    // graph" remark.
+    double queue_bfs = (1.0 + 4.0) * t / graph_bytes_per_vertex;
+    std::printf("%10lld %12.2f %12.2f %14.2f\n", static_cast<long long>(t),
+                msbfs, mspbfs, queue_bfs);
+  }
+
+  // Live cross-check against real instances.
+  bench::PrintTitle("cross-check against live instances");
+  Graph g = Kronecker({.scale = static_cast<int>(verify_scale),
+                       .edge_factor = static_cast<int>(edge_factor),
+                       .seed = 3});
+  SerialExecutor serial;
+  auto ms = MakeMsPbfs(g, static_cast<int>(width), &serial);
+  auto sms = MakeSmsPbfs(g, SmsVariant::kByte, &serial);
+  std::printf("scale %lld: graph bytes %llu, MS-PBFS state %llu (%.2fx), "
+              "SMS-PBFS byte state %llu (%.2fx)\n",
+              static_cast<long long>(verify_scale),
+              static_cast<unsigned long long>(g.MemoryBytes()),
+              static_cast<unsigned long long>(ms->StateBytes()),
+              static_cast<double>(ms->StateBytes()) / g.MemoryBytes(),
+              static_cast<unsigned long long>(sms->StateBytes()),
+              static_cast<double>(sms->StateBytes()) / g.MemoryBytes());
+  std::printf("model predicts MS-PBFS ratio %.2f on this graph shape\n",
+              instance_bytes_per_vertex / graph_bytes_per_vertex);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pbfs
+
+int main(int argc, char** argv) { return pbfs::Main(argc, argv); }

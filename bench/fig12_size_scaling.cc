@@ -1,0 +1,92 @@
+// Figure 12: throughput (GTEPS) with all cores as the graph size grows
+// (paper: scales 16-32 on 60 cores). Series: MS-BFS, MS-PBFS, MS-PBFS
+// (sequential per core), MS-PBFS (one per socket), SMS-PBFS (bit),
+// SMS-PBFS (byte).
+//
+// Expected shape: the parallel algorithms struggle at small scales
+// (contention, sub-millisecond iterations) and win from ~2^20 vertices;
+// the sequential per-core deployments decline continuously as cache hit
+// rates fall; multi-source throughput stays far above single-source.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "bfs/batch.h"
+#include "graph/components.h"
+
+namespace pbfs {
+namespace {
+
+int Main(int argc, char** argv) {
+  int64_t min_scale = 14;
+  int64_t max_scale = 18;
+  int64_t threads = bench::DefaultThreads();
+  int64_t sources_count = 64;
+  FlagParser flags("Figure 12: throughput vs graph size, all cores");
+  flags.AddInt64("min_scale", &min_scale, "smallest scale (paper: 16)");
+  flags.AddInt64("max_scale", &max_scale, "largest scale (paper: 32)");
+  flags.AddInt64("threads", &threads, "worker threads (paper: 60)");
+  flags.AddInt64("sources", &sources_count, "sources per measurement");
+  flags.Parse(argc, argv);
+
+  bench::PrintTitle("Figure 12: throughput (GTEPS) vs graph size");
+  std::printf("threads: %lld, sources: %lld\n",
+              static_cast<long long>(threads),
+              static_cast<long long>(sources_count));
+  std::printf("%6s %10s %10s %12s %14s %10s %10s\n", "scale", "MS-BFS",
+              "MS-PBFS", "MS-PBFS(sq)", "MS-PBFS(sock)", "SMS(bit)",
+              "SMS(byte)");
+  bench::PrintRule(80);
+
+  for (int64_t scale = min_scale; scale <= max_scale; ++scale) {
+    Graph g = bench::BuildKronecker(
+        static_cast<int>(scale), 16, Labeling::kStriped,
+        {.num_workers = static_cast<int>(threads), .split_size = 1024});
+    ComponentInfo components = ComputeComponents(g);
+    std::vector<Vertex> sources =
+        PickSources(g, static_cast<int>(sources_count), 29);
+
+    BatchOptions options;
+    options.num_threads = static_cast<int>(threads);
+    options.batch_size = 64;
+
+    options.msbfs_baseline = true;
+    double msbfs = RunMultiSourceBatches(g, sources,
+                                         BatchMode::kSequentialPerCore,
+                                         options, &components)
+                       .gteps;
+    options.msbfs_baseline = false;
+    double mspbfs = RunMultiSourceBatches(g, sources, BatchMode::kParallel,
+                                          options, &components)
+                        .gteps;
+    double mspbfs_seq = RunMultiSourceBatches(g, sources,
+                                              BatchMode::kSequentialPerCore,
+                                              options, &components)
+                            .gteps;
+    options.num_sockets = 2;
+    double mspbfs_socket = RunMultiSourceBatches(g, sources,
+                                                 BatchMode::kOnePerSocket,
+                                                 options, &components)
+                               .gteps;
+    options.num_sockets = 0;
+
+    std::span<const Vertex> sms_sources(sources.data(),
+                                        std::min<size_t>(sources.size(), 8));
+    double sms_bit = RunSingleSourceSweep(g, sms_sources, SmsVariant::kBit,
+                                          options, &components)
+                         .gteps;
+    double sms_byte = RunSingleSourceSweep(g, sms_sources, SmsVariant::kByte,
+                                           options, &components)
+                          .gteps;
+
+    std::printf("%6lld %10.3f %10.3f %12.3f %14.3f %10.3f %10.3f\n",
+                static_cast<long long>(scale), msbfs, mspbfs, mspbfs_seq,
+                mspbfs_socket, sms_bit, sms_byte);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pbfs
+
+int main(int argc, char** argv) { return pbfs::Main(argc, argv); }

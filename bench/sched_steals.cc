@@ -1,0 +1,65 @@
+// Scheduler observation: fraction of tasks executed by a worker other
+// than the one they were dealt to, per vertex labeling.
+//
+// Section 4.4 argues NUMA locality survives work stealing because "most
+// tasks are still executed by their originally assigned workers when
+// the total runtime for the tasks in each queue is balanced" — which is
+// exactly what striped labeling provides. This harness measures the
+// steal fraction directly from the scheduler's counters.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "bfs/multi_source.h"
+#include "graph/components.h"
+#include "sched/worker_pool.h"
+
+namespace pbfs {
+namespace {
+
+int Main(int argc, char** argv) {
+  int64_t scale = 15;
+  int64_t threads = bench::DefaultThreads();
+  int64_t batch = 64;
+  FlagParser flags("Steal fraction per labeling (Section 4.4)");
+  flags.AddInt64("scale", &scale, "Kronecker scale");
+  flags.AddInt64("threads", &threads, "worker threads");
+  flags.AddInt64("batch", &batch, "MS-PBFS batch size");
+  flags.Parse(argc, argv);
+
+  Graph base = Kronecker({.scale = static_cast<int>(scale),
+                          .edge_factor = 16, .seed = 1});
+  const StripeShape shape{.num_workers = static_cast<int>(threads),
+                          .split_size = 1024};
+  WorkerPool pool({.num_workers = static_cast<int>(threads),
+                   .pin_threads = false});
+
+  bench::PrintTitle("work-stealing rate by labeling (MS-PBFS, one batch)");
+  std::printf("%10s %14s %14s %10s\n", "labeling", "local tasks",
+              "stolen tasks", "stolen %");
+  bench::PrintRule(54);
+  for (Labeling labeling : {Labeling::kDegreeOrdered, Labeling::kRandom,
+                            Labeling::kStriped}) {
+    std::vector<Vertex> perm = ComputeLabeling(base, labeling, shape, 7);
+    Graph g = ApplyLabeling(base, perm);
+    std::vector<Vertex> sources = PickSources(g, batch, 3);
+    auto bfs = MakeMsPbfs(g, 64, &pool);
+    pool.ResetSchedulerStats();
+    bfs->Run(sources, BfsOptions{}, nullptr);
+    WorkerPool::SchedulerStats stats = pool.scheduler_stats();
+    std::printf("%10s %14llu %14llu %9.1f%%\n", LabelingName(labeling),
+                static_cast<unsigned long long>(stats.local_tasks),
+                static_cast<unsigned long long>(stats.stolen_tasks),
+                100.0 * stats.StealFraction());
+  }
+  std::printf(
+      "\nexpected shape (multi-core hardware): striped labeling keeps the "
+      "steal rate low (NUMA locality preserved); degree-ordered labeling "
+      "forces heavy stealing out of the hub-laden first queues.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pbfs
+
+int main(int argc, char** argv) { return pbfs::Main(argc, argv); }

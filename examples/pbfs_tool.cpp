@@ -1,0 +1,320 @@
+// pbfs_tool — command-line graph toolkit built entirely on the public
+// API. Subcommands:
+//
+//   generate   synthesize a graph and save it (text or binary)
+//   convert    convert between text edge lists and binary CSR snapshots
+//   stats      structural report (degrees, components, diameter bound)
+//   bfs        run one BFS and print the level histogram + GTEPS
+//   centrality top-k closeness / harmonic / betweenness
+//
+// Examples:
+//   pbfs_tool generate --kind kronecker --scale 18 --out g.pbfs
+//   pbfs_tool convert --input edges.txt --out g.pbfs
+//   pbfs_tool stats --input g.pbfs
+//   pbfs_tool bfs --input g.pbfs --source 0 --threads 8
+//   pbfs_tool centrality --input g.pbfs --metric harmonic --topk 20
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "algorithms/betweenness.h"
+#include "algorithms/closeness.h"
+#include "algorithms/eccentricity.h"
+#include "bfs/gteps.h"
+#include "bfs/single_source.h"
+#include "graph/components.h"
+#include "graph/degree_stats.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/labeling.h"
+#include "sched/worker_pool.h"
+#include "util/flags.h"
+#include "util/timer.h"
+
+namespace {
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Loads a graph from either format, deciding by file suffix.
+bool LoadGraph(const std::string& path, pbfs::Graph* graph) {
+  if (HasSuffix(path, ".pbfs")) return pbfs::ReadGraphBinary(path, graph);
+  std::vector<pbfs::Edge> edges;
+  pbfs::Vertex n = 0;
+  if (!pbfs::ReadEdgeListText(path, &edges, &n, /*renumber=*/true)) {
+    return false;
+  }
+  *graph = pbfs::Graph::FromEdges(n, edges);
+  return true;
+}
+
+bool SaveGraph(const std::string& path, const pbfs::Graph& graph) {
+  if (HasSuffix(path, ".pbfs")) return pbfs::WriteGraphBinary(path, graph);
+  std::vector<pbfs::Edge> edges;
+  edges.reserve(graph.num_edges());
+  for (pbfs::Vertex u = 0; u < graph.num_vertices(); ++u) {
+    for (pbfs::Vertex v : graph.Neighbors(u)) {
+      if (v > u) edges.push_back({u, v});
+    }
+  }
+  return pbfs::WriteEdgeListText(path, edges);
+}
+
+int CmdGenerate(int argc, char** argv) {
+  std::string kind = "kronecker";
+  std::string out = "graph.pbfs";
+  std::string relabel = "none";
+  int64_t scale = 16;
+  int64_t edge_factor = 16;
+  int64_t vertices = 1 << 16;
+  double avg_degree = 20.0;
+  int64_t seed = 1;
+  int64_t threads = 4;
+  pbfs::FlagParser flags("pbfs_tool generate: synthesize a graph");
+  flags.AddString("kind", &kind, "kronecker | social | erdos");
+  flags.AddString("out", &out, "output path (.pbfs = binary, else text)");
+  flags.AddString("relabel", &relabel, "none | random | ordered | striped");
+  flags.AddInt64("scale", &scale, "kronecker: 2^scale vertices");
+  flags.AddInt64("edge_factor", &edge_factor, "kronecker: edges per vertex");
+  flags.AddInt64("vertices", &vertices, "social/erdos: vertex count");
+  flags.AddDouble("avg_degree", &avg_degree, "social: average degree");
+  flags.AddInt64("seed", &seed, "generator seed");
+  flags.AddInt64("threads", &threads, "stripe shape for --relabel=striped");
+  flags.Parse(argc, argv);
+
+  pbfs::Graph graph;
+  if (kind == "kronecker") {
+    graph = pbfs::Kronecker({.scale = static_cast<int>(scale),
+                             .edge_factor = static_cast<int>(edge_factor),
+                             .seed = static_cast<uint64_t>(seed)});
+  } else if (kind == "social") {
+    graph = pbfs::SocialNetwork(
+        {.num_vertices = static_cast<pbfs::Vertex>(vertices),
+         .avg_degree = avg_degree,
+         .seed = static_cast<uint64_t>(seed)});
+  } else if (kind == "erdos") {
+    graph = pbfs::ErdosRenyi(
+        static_cast<pbfs::Vertex>(vertices),
+        static_cast<pbfs::EdgeIndex>(avg_degree * vertices / 2.0),
+        static_cast<uint64_t>(seed));
+  } else {
+    std::fprintf(stderr, "unknown --kind %s\n", kind.c_str());
+    return 1;
+  }
+
+  if (relabel != "none") {
+    pbfs::Labeling labeling;
+    if (relabel == "random") {
+      labeling = pbfs::Labeling::kRandom;
+    } else if (relabel == "ordered") {
+      labeling = pbfs::Labeling::kDegreeOrdered;
+    } else if (relabel == "striped") {
+      labeling = pbfs::Labeling::kStriped;
+    } else {
+      std::fprintf(stderr, "unknown --relabel %s\n", relabel.c_str());
+      return 1;
+    }
+    std::vector<pbfs::Vertex> perm = pbfs::ComputeLabeling(
+        graph, labeling,
+        {.num_workers = static_cast<int>(threads), .split_size = 1024},
+        static_cast<uint64_t>(seed));
+    graph = pbfs::ApplyLabeling(graph, perm);
+  }
+
+  if (!SaveGraph(out, graph)) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %u vertices, %llu edges\n", out.c_str(),
+              graph.num_vertices(),
+              static_cast<unsigned long long>(graph.num_edges()));
+  return 0;
+}
+
+int CmdConvert(int argc, char** argv) {
+  std::string input;
+  std::string out;
+  pbfs::FlagParser flags("pbfs_tool convert: change graph format");
+  flags.AddString("input", &input, "input path");
+  flags.AddString("out", &out, "output path (.pbfs = binary, else text)");
+  flags.Parse(argc, argv);
+  pbfs::Graph graph;
+  if (!LoadGraph(input, &graph)) {
+    std::fprintf(stderr, "failed to read %s\n", input.c_str());
+    return 1;
+  }
+  if (!SaveGraph(out, graph)) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("converted %s -> %s (%u vertices, %llu edges)\n", input.c_str(),
+              out.c_str(), graph.num_vertices(),
+              static_cast<unsigned long long>(graph.num_edges()));
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  std::string input;
+  int64_t threads = 4;
+  pbfs::FlagParser flags("pbfs_tool stats: structural report");
+  flags.AddString("input", &input, "input path");
+  flags.AddInt64("threads", &threads, "worker threads");
+  flags.Parse(argc, argv);
+  pbfs::Graph graph;
+  if (!LoadGraph(input, &graph)) {
+    std::fprintf(stderr, "failed to read %s\n", input.c_str());
+    return 1;
+  }
+  pbfs::DegreeStats degrees = pbfs::ComputeDegreeStats(graph);
+  pbfs::ComponentInfo components = pbfs::ComputeComponents(graph);
+  std::printf("%u vertices, %llu edges, avg degree %.2f, max %llu, "
+              "gini %.3f\n",
+              graph.num_vertices(),
+              static_cast<unsigned long long>(graph.num_edges()),
+              degrees.average_degree,
+              static_cast<unsigned long long>(degrees.max_degree),
+              pbfs::DegreeGini(graph));
+  uint32_t largest = components.LargestComponent();
+  std::printf("%u components, largest %.1f%% of vertices\n",
+              components.num_components(),
+              100.0 * components.vertex_count[largest] /
+                  std::max<pbfs::Vertex>(1, graph.num_vertices()));
+  pbfs::WorkerPool pool({.num_workers = static_cast<int>(threads)});
+  pbfs::DiameterEstimate diameter = pbfs::EstimateDiameter(
+      graph, pbfs::PickSources(graph, 1, 7)[0], &pool);
+  std::printf("diameter >= %u (double sweep)\n", diameter.lower_bound);
+  return 0;
+}
+
+int CmdBfs(int argc, char** argv) {
+  std::string input;
+  std::string variant = "bit";
+  int64_t source = 0;
+  int64_t threads = 4;
+  pbfs::FlagParser flags("pbfs_tool bfs: run one BFS");
+  flags.AddString("input", &input, "input path");
+  flags.AddString("variant", &variant, "bit | byte | queue");
+  flags.AddInt64("source", &source, "source vertex");
+  flags.AddInt64("threads", &threads, "worker threads");
+  flags.Parse(argc, argv);
+  pbfs::Graph graph;
+  if (!LoadGraph(input, &graph)) {
+    std::fprintf(stderr, "failed to read %s\n", input.c_str());
+    return 1;
+  }
+  if (source < 0 || source >= graph.num_vertices()) {
+    std::fprintf(stderr, "source out of range\n");
+    return 1;
+  }
+  pbfs::SmsVariant sms_variant = pbfs::SmsVariant::kBit;
+  if (variant == "byte") sms_variant = pbfs::SmsVariant::kByte;
+  if (variant == "queue") sms_variant = pbfs::SmsVariant::kQueue;
+
+  pbfs::WorkerPool pool({.num_workers = static_cast<int>(threads)});
+  auto bfs = pbfs::MakeSmsPbfs(graph, sms_variant, &pool);
+  std::vector<pbfs::Level> levels(graph.num_vertices());
+  pbfs::Timer timer;
+  pbfs::BfsResult result = bfs->Run(static_cast<pbfs::Vertex>(source),
+                                    pbfs::BfsOptions{}, levels.data());
+  double seconds = timer.ElapsedSeconds();
+
+  pbfs::ComponentInfo components = pbfs::ComputeComponents(graph);
+  pbfs::Vertex sources[] = {static_cast<pbfs::Vertex>(source)};
+  std::printf("visited %llu vertices in %d iterations (%d bottom-up), "
+              "%.3f ms, %.3f GTEPS\n",
+              static_cast<unsigned long long>(result.vertices_visited),
+              result.iterations, result.bottom_up_iterations,
+              seconds * 1000.0,
+              pbfs::Gteps(pbfs::TraversedEdges(components, sources),
+                          seconds));
+  std::vector<uint64_t> histogram;
+  for (pbfs::Level l : levels) {
+    if (l == pbfs::kLevelUnreached) continue;
+    if (histogram.size() <= l) histogram.resize(l + 1, 0);
+    ++histogram[l];
+  }
+  for (size_t d = 0; d < histogram.size(); ++d) {
+    std::printf("  level %zu: %llu\n", d,
+                static_cast<unsigned long long>(histogram[d]));
+  }
+  return 0;
+}
+
+int CmdCentrality(int argc, char** argv) {
+  std::string input;
+  std::string metric = "closeness";
+  int64_t topk = 10;
+  int64_t threads = 4;
+  int64_t sample = 0;
+  pbfs::FlagParser flags("pbfs_tool centrality: top-k central vertices");
+  flags.AddString("input", &input, "input path");
+  flags.AddString("metric", &metric, "closeness | harmonic | betweenness");
+  flags.AddInt64("topk", &topk, "result count");
+  flags.AddInt64("threads", &threads, "worker threads");
+  flags.AddInt64("sample", &sample, "0 = exact, else sampled sources");
+  flags.Parse(argc, argv);
+  pbfs::Graph graph;
+  if (!LoadGraph(input, &graph)) {
+    std::fprintf(stderr, "failed to read %s\n", input.c_str());
+    return 1;
+  }
+  pbfs::WorkerPool pool({.num_workers = static_cast<int>(threads)});
+
+  std::vector<double> scores;
+  if (metric == "betweenness") {
+    pbfs::BetweennessOptions options;
+    options.sample_sources = static_cast<pbfs::Vertex>(sample);
+    scores = pbfs::ComputeBetweenness(graph, &pool, options).score;
+  } else {
+    pbfs::ClosenessOptions options;
+    options.sample_sources = static_cast<pbfs::Vertex>(sample);
+    pbfs::ClosenessResult result =
+        pbfs::ComputeCloseness(graph, &pool, options);
+    if (metric == "harmonic") {
+      scores = std::move(result.harmonic);
+    } else if (metric == "closeness") {
+      scores = std::move(result.score);
+    } else {
+      std::fprintf(stderr, "unknown --metric %s\n", metric.c_str());
+      return 1;
+    }
+  }
+  std::vector<pbfs::Vertex> top =
+      pbfs::TopKByScore(scores, static_cast<int>(topk));
+  std::printf("top-%zu by %s:\n", top.size(), metric.c_str());
+  for (size_t i = 0; i < top.size(); ++i) {
+    std::printf("  #%zu vertex %u (degree %llu): %.6f\n", i + 1, top[i],
+                static_cast<unsigned long long>(graph.Degree(top[i])),
+                scores[top[i]]);
+  }
+  return 0;
+}
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: pbfs_tool <generate|convert|stats|bfs|centrality> "
+               "[flags]\n  run a subcommand with --help for its flags\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  // Shift argv so each subcommand's FlagParser sees only its flags.
+  int sub_argc = argc - 1;
+  char** sub_argv = argv + 1;
+  if (command == "generate") return CmdGenerate(sub_argc, sub_argv);
+  if (command == "convert") return CmdConvert(sub_argc, sub_argv);
+  if (command == "stats") return CmdStats(sub_argc, sub_argv);
+  if (command == "bfs") return CmdBfs(sub_argc, sub_argv);
+  if (command == "centrality") return CmdCentrality(sub_argc, sub_argv);
+  PrintUsage();
+  return 1;
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Runs every evaluation harness and captures the output, as shipped in
+# bench_output.txt. Pass a build directory as $1 (default: build).
+set -u
+BUILD_DIR="${1:-build}"
+for b in "$BUILD_DIR"/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "### $(basename "$b")"
+  "$b"
+  echo
+done

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Paper-sized configuration for multi-core machines (the defaults are
+# laptop-sized). Expect hours of runtime and >100 GB of RAM at the
+# largest scales; trim --max_scale to your memory budget.
+set -u
+BUILD_DIR="${1:-build}"
+THREADS="${THREADS:-60}"
+"$BUILD_DIR"/bench/fig08_labeling_runtime --scale 27 --threads "$THREADS"
+"$BUILD_DIR"/bench/fig10_sequential --min_scale 16 --max_scale 26
+"$BUILD_DIR"/bench/fig11_thread_scaling --scale 26 --max_threads "$THREADS" --sources 23040
+"$BUILD_DIR"/bench/fig12_size_scaling --min_scale 16 --max_scale 30 --threads "$THREADS"
+"$BUILD_DIR"/bench/table1_graphs --threads "$THREADS" --kron_scale 26

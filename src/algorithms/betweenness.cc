@@ -1,0 +1,115 @@
+#include "algorithms/betweenness.h"
+
+#include <memory>
+#include <numeric>
+
+#include "bfs/common.h"
+#include "graph/components.h"
+#include "util/check.h"
+
+namespace pbfs {
+namespace {
+
+// Per-worker scratch: BFS state plus a private score accumulator.
+struct Scratch {
+  explicit Scratch(Vertex n)
+      : dist(n), sigma(n), delta(n), order(), score(n, 0.0) {
+    order.reserve(n);
+  }
+
+  std::vector<Level> dist;
+  std::vector<uint64_t> sigma;  // shortest path counts
+  std::vector<double> delta;    // dependency accumulation
+  std::vector<Vertex> order;    // vertices in visit order
+  std::vector<double> score;
+};
+
+// Brandes' accumulation for one source.
+void AccumulateFromSource(const Graph& graph, Vertex source, Scratch* s) {
+  const Vertex n = graph.num_vertices();
+  std::fill(s->dist.begin(), s->dist.end(), kLevelUnreached);
+  std::fill(s->sigma.begin(), s->sigma.end(), 0);
+  s->order.clear();
+
+  // Forward BFS counting shortest paths. `order` records vertices in
+  // non-decreasing distance.
+  s->dist[source] = 0;
+  s->sigma[source] = 1;
+  s->order.push_back(source);
+  for (size_t head = 0; head < s->order.size(); ++head) {
+    const Vertex v = s->order[head];
+    const Level dv = s->dist[v];
+    for (Vertex nb : graph.Neighbors(v)) {
+      if (s->dist[nb] == kLevelUnreached) {
+        s->dist[nb] = dv + 1;
+        s->order.push_back(nb);
+      }
+      if (s->dist[nb] == dv + 1) {
+        s->sigma[nb] += s->sigma[v];
+      }
+    }
+  }
+
+  // Reverse pass: dependencies flow from farthest vertices toward the
+  // source. A neighbor u is a predecessor of v iff dist[u] + 1 ==
+  // dist[v], so no predecessor lists are needed.
+  for (Vertex v : s->order) s->delta[v] = 0.0;
+  for (size_t i = s->order.size(); i-- > 1;) {
+    const Vertex v = s->order[i];
+    const Level dv = s->dist[v];
+    const double coefficient =
+        (1.0 + s->delta[v]) / static_cast<double>(s->sigma[v]);
+    for (Vertex u : graph.Neighbors(v)) {
+      if (s->dist[u] + 1 == dv) {
+        s->delta[u] += static_cast<double>(s->sigma[u]) * coefficient;
+      }
+    }
+    s->score[v] += s->delta[v];
+  }
+  (void)n;
+}
+
+}  // namespace
+
+BetweennessResult ComputeBetweenness(const Graph& graph, Executor* executor,
+                                     const BetweennessOptions& options) {
+  const Vertex n = graph.num_vertices();
+  BetweennessResult result;
+  result.score.assign(n, 0.0);
+  if (n == 0) return result;
+
+  std::vector<Vertex> sources;
+  if (options.sample_sources == 0 || options.sample_sources >= n) {
+    sources.resize(n);
+    std::iota(sources.begin(), sources.end(), Vertex{0});
+  } else {
+    sources = PickSources(graph, static_cast<int>(options.sample_sources),
+                          options.seed);
+  }
+  result.sources_used = static_cast<Vertex>(sources.size());
+
+  // One source per task; workers lazily build their private scratch.
+  const int workers = executor->num_workers();
+  std::vector<std::unique_ptr<Scratch>> scratch(workers);
+  executor->ParallelFor(sources.size(), 1, [&](int w, uint64_t b,
+                                               uint64_t e) {
+    if (scratch[w] == nullptr) scratch[w] = std::make_unique<Scratch>(n);
+    for (uint64_t i = b; i < e; ++i) {
+      AccumulateFromSource(graph, sources[i], scratch[w].get());
+    }
+  });
+
+  for (const std::unique_ptr<Scratch>& s : scratch) {
+    if (s == nullptr) continue;
+    for (Vertex v = 0; v < n; ++v) result.score[v] += s->score[v];
+  }
+  // Undirected: each path counted from both endpoints.
+  double scale = 0.5;
+  if (!sources.empty() && sources.size() < n && options.scale_sampled) {
+    scale *= static_cast<double>(n) / static_cast<double>(sources.size());
+  }
+  for (double& score : result.score) score *= scale;
+  return result;
+}
+
+}  // namespace pbfs

@@ -1,0 +1,42 @@
+// Betweenness centrality (Brandes' algorithm) on unweighted graphs —
+// another of the BFS-based centrality computations the paper's
+// introduction motivates.
+//
+// One BFS-like forward pass per source counts shortest paths (sigma),
+// then a reverse pass in decreasing-distance order accumulates
+// dependencies without storing predecessor lists. Sources run in
+// parallel on the executor, each worker with private scratch state and
+// a private accumulator that is reduced at the end.
+#ifndef PBFS_ALGORITHMS_BETWEENNESS_H_
+#define PBFS_ALGORITHMS_BETWEENNESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sched/executor.h"
+
+namespace pbfs {
+
+struct BetweennessOptions {
+  // 0 = exact (all vertices as sources); otherwise sample size.
+  Vertex sample_sources = 0;
+  uint64_t seed = 1;
+  // Scale sampled scores by n / samples so they estimate exact values.
+  bool scale_sampled = true;
+};
+
+struct BetweennessResult {
+  // Betweenness score per vertex. For undirected graphs every shortest
+  // path is counted from both endpoints, so scores are halved to match
+  // the standard definition.
+  std::vector<double> score;
+  Vertex sources_used = 0;
+};
+
+BetweennessResult ComputeBetweenness(const Graph& graph, Executor* executor,
+                                     const BetweennessOptions& options);
+
+}  // namespace pbfs
+
+#endif  // PBFS_ALGORITHMS_BETWEENNESS_H_

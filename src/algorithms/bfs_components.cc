@@ -1,0 +1,44 @@
+#include "algorithms/bfs_components.h"
+
+#include <vector>
+
+#include "bfs/single_source.h"
+
+namespace pbfs {
+
+ComponentInfo ComputeComponentsByBfs(const Graph& graph, Executor* executor) {
+  const Vertex n = graph.num_vertices();
+  ComponentInfo info;
+  info.component_of.assign(n, 0xFFFFFFFFu);
+  if (n == 0) return info;
+
+  std::unique_ptr<SingleSourceBfsBase> bfs =
+      MakeSmsPbfs(graph, SmsVariant::kBit, executor);
+  std::vector<Level> levels(n);
+
+  for (Vertex v = 0; v < n; ++v) {
+    if (info.component_of[v] != 0xFFFFFFFFu) continue;
+    const uint32_t id = static_cast<uint32_t>(info.vertex_count.size());
+    info.vertex_count.push_back(0);
+    info.edge_count.push_back(0);
+    if (graph.Degree(v) == 0) {
+      info.component_of[v] = id;
+      info.vertex_count[id] = 1;
+      continue;
+    }
+    bfs->Run(v, BfsOptions{}, levels.data());
+    Vertex members = 0;
+    EdgeIndex directed_edges = 0;
+    for (Vertex u = 0; u < n; ++u) {
+      if (levels[u] == kLevelUnreached) continue;
+      info.component_of[u] = id;
+      ++members;
+      directed_edges += graph.Degree(u);
+    }
+    info.vertex_count[id] = members;
+    info.edge_count[id] = directed_edges / 2;
+  }
+  return info;
+}
+
+}  // namespace pbfs

@@ -1,0 +1,21 @@
+// Connected components computed by repeated parallel BFS (SMS-PBFS)
+// instead of union-find — a reachability application of the library's
+// own traversal kernels, and a cross-check for graph/components.h.
+#ifndef PBFS_ALGORITHMS_BFS_COMPONENTS_H_
+#define PBFS_ALGORITHMS_BFS_COMPONENTS_H_
+
+#include "graph/components.h"
+#include "graph/graph.h"
+#include "sched/executor.h"
+
+namespace pbfs {
+
+// Sweeps the vertices, starting a parallel BFS at every not-yet-labeled
+// vertex with degree >= 1; isolated vertices get singleton components.
+// Component ids are dense in discovery order, matching the structure of
+// ComputeComponents (ids may be permuted relative to it).
+ComponentInfo ComputeComponentsByBfs(const Graph& graph, Executor* executor);
+
+}  // namespace pbfs
+
+#endif  // PBFS_ALGORITHMS_BFS_COMPONENTS_H_

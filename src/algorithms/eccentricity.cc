@@ -1,0 +1,80 @@
+#include "algorithms/eccentricity.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "bfs/multi_source.h"
+#include "bfs/single_source.h"
+#include "util/check.h"
+
+namespace pbfs {
+
+DiameterEstimate EstimateDiameter(const Graph& graph, Vertex start,
+                                  Executor* executor, int sweeps) {
+  const Vertex n = graph.num_vertices();
+  PBFS_CHECK(start < n);
+  DiameterEstimate estimate;
+  estimate.periphery_a = start;
+  estimate.periphery_b = start;
+
+  std::unique_ptr<SingleSourceBfsBase> bfs =
+      MakeSmsPbfs(graph, SmsVariant::kBit, executor);
+  std::vector<Level> levels(n);
+  Vertex current = start;
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    bfs->Run(current, BfsOptions{}, levels.data());
+    ++estimate.bfs_runs;
+    Vertex farthest = current;
+    Level ecc = 0;
+    for (Vertex v = 0; v < n; ++v) {
+      if (levels[v] != kLevelUnreached && levels[v] > ecc) {
+        ecc = levels[v];
+        farthest = v;
+      }
+    }
+    if (ecc > estimate.lower_bound) {
+      estimate.lower_bound = ecc;
+      estimate.periphery_a = current;
+      estimate.periphery_b = farthest;
+    } else if (sweep > 0) {
+      break;  // converged: the new endpoint did not improve the bound
+    }
+    current = farthest;
+  }
+  return estimate;
+}
+
+std::vector<Level> ExactEccentricities(const Graph& graph, Executor* executor,
+                                       int width) {
+  const Vertex n = graph.num_vertices();
+  PBFS_CHECK(IsSupportedWidth(width));
+  std::vector<Level> eccentricity(n, kLevelUnreached);
+  if (n == 0) return eccentricity;
+
+  std::unique_ptr<MultiSourceBfsBase> bfs = MakeMsPbfs(graph, width, executor);
+  std::vector<Vertex> sources(n);
+  std::iota(sources.begin(), sources.end(), Vertex{0});
+  std::vector<Level> levels;
+  for (Vertex base = 0; base < n; base += width) {
+    const size_t k = std::min<Vertex>(width, n - base);
+    std::span<const Vertex> batch(sources.data() + base, k);
+    levels.assign(k * static_cast<size_t>(n), 0);
+    bfs->Run(batch, BfsOptions{}, levels.data());
+    for (size_t i = 0; i < k; ++i) {
+      const Level* row = levels.data() + i * n;
+      Level ecc = 0;
+      bool any = false;
+      for (Vertex v = 0; v < n; ++v) {
+        if (row[v] == kLevelUnreached) continue;
+        ecc = std::max(ecc, row[v]);
+        if (v != base + i) any = true;
+      }
+      // Isolated vertices keep kLevelUnreached; a vertex with neighbors
+      // gets its true eccentricity.
+      if (any) eccentricity[base + i] = ecc;
+    }
+  }
+  return eccentricity;
+}
+
+}  // namespace pbfs

@@ -1,0 +1,46 @@
+#include "algorithms/khop.h"
+
+#include <algorithm>
+
+#include "bfs/multi_source.h"
+#include "util/check.h"
+
+namespace pbfs {
+
+KHopResult KHopNeighborhoods(const Graph& graph,
+                             std::span<const Vertex> queries, Level max_hops,
+                             Executor* executor, int width) {
+  PBFS_CHECK(IsSupportedWidth(width));
+  const Vertex n = graph.num_vertices();
+  KHopResult result;
+  result.size.assign(queries.size(),
+                     std::vector<uint64_t>(max_hops + 1, 0));
+  if (n == 0 || queries.empty()) return result;
+
+  std::unique_ptr<MultiSourceBfsBase> bfs = MakeMsPbfs(graph, width, executor);
+  // Bounded traversal: stop as soon as the requested radius is covered
+  // instead of finishing the whole component.
+  BfsOptions options;
+  options.max_level = max_hops;
+  std::vector<Level> levels;
+  for (size_t base = 0; base < queries.size(); base += width) {
+    const size_t k = std::min<size_t>(width, queries.size() - base);
+    std::span<const Vertex> batch(queries.data() + base, k);
+    levels.assign(k * static_cast<size_t>(n), 0);
+    bfs->Run(batch, options, levels.data());
+    for (size_t i = 0; i < k; ++i) {
+      const Level* row = levels.data() + i * n;
+      std::vector<uint64_t>& sizes = result.size[base + i];
+      // Count per exact hop, then prefix-sum to cumulative.
+      for (Vertex v = 0; v < n; ++v) {
+        const Level l = row[v];
+        if (l == kLevelUnreached || l == 0 || l > max_hops) continue;
+        ++sizes[l];
+      }
+      for (Level h = 1; h <= max_hops; ++h) sizes[h] += sizes[h - 1];
+    }
+  }
+  return result;
+}
+
+}  // namespace pbfs

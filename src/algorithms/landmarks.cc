@@ -1,0 +1,75 @@
+#include "algorithms/landmarks.h"
+
+#include <algorithm>
+
+#include "bfs/multi_source.h"
+#include "graph/components.h"
+#include "graph/labeling.h"
+#include "util/check.h"
+
+namespace pbfs {
+
+LandmarkIndex LandmarkIndex::Build(const Graph& graph, Executor* executor,
+                                   const LandmarkOptions& options) {
+  PBFS_CHECK(options.num_landmarks > 0);
+  PBFS_CHECK(IsSupportedWidth(options.width));
+  const Vertex n = graph.num_vertices();
+
+  LandmarkIndex index;
+  index.num_vertices_ = n;
+  if (n == 0) return index;
+
+  switch (options.strategy) {
+    case LandmarkStrategy::kRandom: {
+      index.landmarks_ =
+          PickSources(graph, options.num_landmarks, options.seed);
+      break;
+    }
+    case LandmarkStrategy::kHighestDegree: {
+      std::vector<Vertex> order = VerticesByDegreeDescending(graph);
+      const int count =
+          std::min<int>(options.num_landmarks, static_cast<int>(n));
+      index.landmarks_.assign(order.begin(), order.begin() + count);
+      break;
+    }
+  }
+
+  const size_t k = index.landmarks_.size();
+  index.levels_.assign(k * static_cast<size_t>(n), kLevelUnreached);
+  std::unique_ptr<MultiSourceBfsBase> bfs =
+      MakeMsPbfs(graph, options.width, executor);
+  for (size_t base = 0; base < k; base += options.width) {
+    const size_t batch_size = std::min<size_t>(options.width, k - base);
+    std::span<const Vertex> batch(index.landmarks_.data() + base,
+                                  batch_size);
+    bfs->Run(batch, BfsOptions{}, index.levels_.data() + base * n);
+  }
+  return index;
+}
+
+DistanceBounds LandmarkIndex::Query(Vertex s, Vertex t) const {
+  PBFS_CHECK(s < num_vertices_ && t < num_vertices_);
+  DistanceBounds bounds;
+  if (s == t) {
+    bounds.lower = 0;
+    bounds.upper = 0;
+    return bounds;
+  }
+  for (size_t l = 0; l < landmarks_.size(); ++l) {
+    const Level* row = levels_.data() + l * num_vertices_;
+    const Level ds = row[s];
+    const Level dt = row[t];
+    if (ds == kLevelUnreached || dt == kLevelUnreached) continue;
+    const Level sum = static_cast<Level>(ds + dt);
+    const Level diff = ds > dt ? ds - dt : dt - ds;
+    if (sum < bounds.upper) bounds.upper = sum;
+    if (diff > bounds.lower) bounds.lower = diff;
+  }
+  if (bounds.upper != kLevelUnreached && bounds.upper > 0) {
+    // Distinct connected vertices are at least one hop apart.
+    bounds.lower = std::max<Level>(bounds.lower, 1);
+  }
+  return bounds;
+}
+
+}  // namespace pbfs

@@ -1,0 +1,70 @@
+// Landmark-based approximate distance oracle — a classic batch-BFS
+// application: one MS-PBFS pass from k landmark vertices yields a
+// compact index that answers point-to-point hop-distance queries in
+// O(k) without further traversals.
+//
+// For a query (s, t) with landmark distances d(L, ·):
+//   upper bound:  min over L of d(L, s) + d(L, t)
+//   lower bound:  max over L of |d(L, s) - d(L, t)|
+// (triangle inequality; bounds are exact when a shortest path passes
+// through / aligns with a landmark).
+#ifndef PBFS_ALGORITHMS_LANDMARKS_H_
+#define PBFS_ALGORITHMS_LANDMARKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bfs/common.h"
+#include "graph/graph.h"
+#include "sched/executor.h"
+
+namespace pbfs {
+
+enum class LandmarkStrategy {
+  kRandom,        // uniform among non-isolated vertices
+  kHighestDegree  // hubs cover many shortest paths in small worlds
+};
+
+struct LandmarkOptions {
+  int num_landmarks = 16;
+  LandmarkStrategy strategy = LandmarkStrategy::kHighestDegree;
+  int width = 64;  // MS-PBFS batch width
+  uint64_t seed = 1;
+};
+
+struct DistanceBounds {
+  Level lower = 0;
+  Level upper = kLevelUnreached;  // kLevelUnreached = no connection seen
+
+  bool exact() const { return lower == upper; }
+};
+
+// Precomputed landmark index. Memory: num_landmarks * n levels.
+class LandmarkIndex {
+ public:
+  // Builds the index with one MS-PBFS batch per `width` landmarks.
+  static LandmarkIndex Build(const Graph& graph, Executor* executor,
+                             const LandmarkOptions& options);
+
+  // Hop-distance bounds between s and t. If no landmark reaches both,
+  // the upper bound is kLevelUnreached (the vertices may still be
+  // connected through an uncovered region).
+  DistanceBounds Query(Vertex s, Vertex t) const;
+
+  int num_landmarks() const { return static_cast<int>(landmarks_.size()); }
+  const std::vector<Vertex>& landmarks() const { return landmarks_; }
+  uint64_t IndexBytes() const {
+    return levels_.size() * sizeof(Level);
+  }
+
+ private:
+  LandmarkIndex() = default;
+
+  Vertex num_vertices_ = 0;
+  std::vector<Vertex> landmarks_;
+  std::vector<Level> levels_;  // landmark-major: levels_[l * n + v]
+};
+
+}  // namespace pbfs
+
+#endif  // PBFS_ALGORITHMS_LANDMARKS_H_

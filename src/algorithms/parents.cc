@@ -1,0 +1,115 @@
+#include "algorithms/parents.h"
+
+#include "util/check.h"
+
+namespace pbfs {
+namespace {
+
+inline Vertex ParentOf(const Graph& graph, Vertex v, const Level* levels) {
+  const Level lv = levels[v];
+  for (Vertex nb : graph.Neighbors(v)) {
+    if (levels[nb] + 1 == lv) return nb;
+  }
+  return kInvalidVertex;  // cannot happen for valid level arrays
+}
+
+}  // namespace
+
+std::vector<Vertex> DeriveParents(const Graph& graph, Vertex source,
+                                  const Level* levels) {
+  const Vertex n = graph.num_vertices();
+  PBFS_CHECK(source < n);
+  std::vector<Vertex> parents(n, kInvalidVertex);
+  parents[source] = source;
+  for (Vertex v = 0; v < n; ++v) {
+    if (v == source || levels[v] == kLevelUnreached) continue;
+    parents[v] = ParentOf(graph, v, levels);
+  }
+  return parents;
+}
+
+std::vector<Vertex> DeriveParentsParallel(const Graph& graph, Vertex source,
+                                          const Level* levels,
+                                          Executor* executor) {
+  const Vertex n = graph.num_vertices();
+  PBFS_CHECK(source < n);
+  std::vector<Vertex> parents(n, kInvalidVertex);
+  executor->ParallelFor(n, 4096, [&](int, uint64_t b, uint64_t e) {
+    for (uint64_t v = b; v < e; ++v) {
+      if (v == source || levels[v] == kLevelUnreached) continue;
+      parents[v] = ParentOf(graph, static_cast<Vertex>(v), levels);
+    }
+  });
+  parents[source] = source;
+  return parents;
+}
+
+bool ValidateParents(const Graph& graph, Vertex source,
+                     const std::vector<Vertex>& parents, const Level* levels,
+                     std::string* error) {
+  auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+  const Vertex n = graph.num_vertices();
+  if (parents.size() != n) return fail("parent array size mismatch");
+  if (parents[source] != source) return fail("parents[source] != source");
+
+  // Depth via pointer chasing with cycle detection: depth[v] = steps to
+  // the source; computed iteratively with path memoization.
+  std::vector<uint32_t> depth(n, 0xFFFFFFFFu);
+  depth[source] = 0;
+  std::vector<Vertex> chain;
+  for (Vertex v = 0; v < n; ++v) {
+    if (parents[v] == kInvalidVertex) {
+      if (levels != nullptr && levels[v] != kLevelUnreached && v != source) {
+        return fail("reached vertex " + std::to_string(v) + " has no parent");
+      }
+      continue;
+    }
+    if (depth[v] != 0xFFFFFFFFu) continue;
+    chain.clear();
+    Vertex cur = v;
+    while (depth[cur] == 0xFFFFFFFFu) {
+      chain.push_back(cur);
+      Vertex p = parents[cur];
+      if (p == kInvalidVertex) {
+        return fail("vertex " + std::to_string(cur) +
+                    " links to an unreached parent");
+      }
+      if (p != cur && !graph.HasEdge(cur, p)) {
+        return fail("parent of " + std::to_string(cur) +
+                    " is not a neighbor");
+      }
+      if (chain.size() > static_cast<size_t>(n)) {
+        return fail("parent pointers contain a cycle");
+      }
+      if (p == cur) {
+        // Self-parent: only the source may do this.
+        if (cur != source) {
+          return fail("vertex " + std::to_string(cur) +
+                      " is its own parent but not the source");
+        }
+        break;
+      }
+      cur = p;
+    }
+    uint32_t base = depth[cur] == 0xFFFFFFFFu ? 0 : depth[cur];
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      depth[*it] = ++base;
+    }
+  }
+
+  if (levels != nullptr) {
+    for (Vertex v = 0; v < n; ++v) {
+      if (parents[v] == kInvalidVertex || v == source) continue;
+      if (levels[parents[v]] + 1 != levels[v]) {
+        return fail("tree edge at " + std::to_string(v) +
+                    " is not one level deep");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace pbfs

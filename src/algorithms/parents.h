@@ -1,0 +1,42 @@
+// BFS parent arrays (Graph500 kernel-2 output format).
+//
+// The traversal kernels produce levels; a valid parent array is derived
+// in one additional pass by picking, for each reached vertex, any
+// neighbor exactly one level closer. This matches the Graph500
+// validator's requirements (any BFS tree is acceptable) and keeps the
+// hot kernels free of per-edge parent bookkeeping.
+#ifndef PBFS_ALGORITHMS_PARENTS_H_
+#define PBFS_ALGORITHMS_PARENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "bfs/common.h"
+#include "graph/graph.h"
+#include "sched/executor.h"
+
+namespace pbfs {
+
+// Parent of the source is itself; unreached vertices get
+// kInvalidVertex.
+std::vector<Vertex> DeriveParents(const Graph& graph, Vertex source,
+                                  const Level* levels);
+
+// Parallel variant running on `executor`.
+std::vector<Vertex> DeriveParentsParallel(const Graph& graph, Vertex source,
+                                          const Level* levels,
+                                          Executor* executor);
+
+// Graph500-style parent validation:
+//   1. parents[source] == source;
+//   2. every reached vertex's parent is a graph neighbor;
+//   3. following parents reaches the source without cycles;
+//   4. the tree edges are consistent with BFS levels when `levels` is
+//      given (parent exactly one level closer).
+bool ValidateParents(const Graph& graph, Vertex source,
+                     const std::vector<Vertex>& parents, const Level* levels,
+                     std::string* error);
+
+}  // namespace pbfs
+
+#endif  // PBFS_ALGORITHMS_PARENTS_H_

@@ -1,0 +1,258 @@
+#include "bfs/batch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <thread>
+
+#include "bfs/gteps.h"
+#include "platform/thread_pin.h"
+#include "sched/worker_pool.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace pbfs {
+namespace {
+
+void FillDerivedMetrics(const BatchOptions& options,
+                        std::span<const Vertex> sources,
+                        const ComponentInfo* components, double seconds,
+                        BatchReport* report) {
+  (void)options;
+  report->seconds = seconds;
+  if (components != nullptr) {
+    report->traversed_edges = TraversedEdges(*components, sources);
+    report->gteps = Gteps(report->traversed_edges, seconds);
+  }
+}
+
+BatchReport RunParallelMode(const Graph& graph,
+                            std::span<const Vertex> sources,
+                            const BatchOptions& options,
+                            const ComponentInfo* components) {
+  WorkerPool::Options pool_options;
+  pool_options.num_workers = options.num_threads;
+  pool_options.pin_threads = options.pin_threads;
+  pool_options.topology = options.topology;
+  WorkerPool pool(pool_options);
+  std::unique_ptr<MultiSourceBfsBase> bfs =
+      MakeMsPbfs(graph, options.width, &pool);
+
+  std::vector<std::vector<Vertex>> batches =
+      MakeBatches(sources, options.batch_size);
+  BatchReport report;
+  report.num_batches = static_cast<int>(batches.size());
+  report.threads_used = options.num_threads;
+  report.state_bytes = bfs->StateBytes();
+
+  Timer timer;
+  for (const std::vector<Vertex>& batch : batches) {
+    MsBfsResult r = bfs->Run(batch, options.bfs, nullptr);
+    report.total_visits += r.total_visits;
+  }
+  FillDerivedMetrics(options, sources, components, timer.ElapsedSeconds(),
+                     &report);
+  return report;
+}
+
+BatchReport RunSequentialPerCoreMode(const Graph& graph,
+                                     std::span<const Vertex> sources,
+                                     const BatchOptions& options,
+                                     const ComponentInfo* components) {
+  std::vector<std::vector<Vertex>> batches =
+      MakeBatches(sources, options.batch_size);
+  BatchReport report;
+  report.num_batches = static_cast<int>(batches.size());
+
+  std::optional<Topology> detected;
+  const Topology* topo = options.topology;
+  if (topo == nullptr) {
+    detected.emplace(Topology::Detect());
+    topo = &*detected;
+  }
+  std::vector<int> cpus = topo->AssignWorkersToCpus(options.num_threads);
+
+  std::atomic<size_t> next_batch{0};
+  std::atomic<uint64_t> total_visits{0};
+  std::atomic<uint64_t> state_bytes{0};
+  std::atomic<int> threads_used{0};
+
+  Timer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(options.num_threads);
+  for (int t = 0; t < options.num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      if (options.pin_threads) PinCurrentThreadToCpu(cpus[t]);
+      // Lazily create this thread's private instance on first batch, so
+      // idle threads (more threads than batches) hold no state — that is
+      // exactly the Figure 2/3 deployment model of MS-BFS.
+      std::unique_ptr<MultiSourceBfsBase> instance;
+      SerialExecutor serial;
+      uint64_t local_visits = 0;
+      bool worked = false;
+      for (;;) {
+        size_t b = next_batch.fetch_add(1, std::memory_order_relaxed);
+        if (b >= batches.size()) break;
+        if (instance == nullptr) {
+          instance = options.msbfs_baseline
+                         ? MakeMsBfs(graph, options.width)
+                         : MakeMsPbfs(graph, options.width, &serial);
+          state_bytes.fetch_add(instance->StateBytes(),
+                                std::memory_order_relaxed);
+          worked = true;
+        }
+        MsBfsResult r = instance->Run(batches[b], options.bfs, nullptr);
+        local_visits += r.total_visits;
+      }
+      total_visits.fetch_add(local_visits, std::memory_order_relaxed);
+      if (worked) threads_used.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  report.total_visits = total_visits.load();
+  report.threads_used = threads_used.load();
+  report.state_bytes = state_bytes.load();
+  FillDerivedMetrics(options, sources, components, timer.ElapsedSeconds(),
+                     &report);
+  return report;
+}
+
+BatchReport RunOnePerSocketMode(const Graph& graph,
+                                std::span<const Vertex> sources,
+                                const BatchOptions& options,
+                                const ComponentInfo* components) {
+  std::optional<Topology> detected;
+  const Topology* topo = options.topology;
+  if (topo == nullptr) {
+    detected.emplace(Topology::Detect());
+    topo = &*detected;
+  }
+  int sockets = options.num_sockets > 0 ? options.num_sockets
+                                        : topo->num_nodes();
+  sockets = std::max(1, std::min(sockets, options.num_threads));
+  const int threads_per_socket = options.num_threads / sockets;
+  PBFS_CHECK(threads_per_socket > 0);
+
+  std::vector<std::vector<Vertex>> batches =
+      MakeBatches(sources, options.batch_size);
+  BatchReport report;
+  report.num_batches = static_cast<int>(batches.size());
+
+  std::atomic<size_t> next_batch{0};
+  std::atomic<uint64_t> total_visits{0};
+  std::atomic<uint64_t> state_bytes{0};
+
+  Timer timer;
+  std::vector<std::thread> coordinators;
+  coordinators.reserve(sockets);
+  for (int s = 0; s < sockets; ++s) {
+    coordinators.emplace_back([&, s] {
+      // Confine this instance's pool to the CPUs of one NUMA node.
+      const std::vector<int>& node_cpus =
+          topo->CpusOfNode(s % topo->num_nodes());
+      WorkerPool::Options pool_options;
+      pool_options.num_workers = threads_per_socket;
+      pool_options.pin_threads = options.pin_threads;
+      pool_options.topology = topo;
+      pool_options.cpus.reserve(threads_per_socket);
+      for (int t = 0; t < threads_per_socket; ++t) {
+        pool_options.cpus.push_back(node_cpus[t % node_cpus.size()]);
+      }
+      WorkerPool pool(pool_options);
+      std::unique_ptr<MultiSourceBfsBase> instance =
+          MakeMsPbfs(graph, options.width, &pool);
+      state_bytes.fetch_add(instance->StateBytes(),
+                            std::memory_order_relaxed);
+      uint64_t local_visits = 0;
+      for (;;) {
+        size_t b = next_batch.fetch_add(1, std::memory_order_relaxed);
+        if (b >= batches.size()) break;
+        MsBfsResult r = instance->Run(batches[b], options.bfs, nullptr);
+        local_visits += r.total_visits;
+      }
+      total_visits.fetch_add(local_visits, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& thread : coordinators) thread.join();
+
+  report.total_visits = total_visits.load();
+  report.threads_used = sockets * threads_per_socket;
+  report.state_bytes = state_bytes.load();
+  FillDerivedMetrics(options, sources, components, timer.ElapsedSeconds(),
+                     &report);
+  return report;
+}
+
+}  // namespace
+
+const char* BatchModeName(BatchMode mode) {
+  switch (mode) {
+    case BatchMode::kParallel:
+      return "parallel";
+    case BatchMode::kSequentialPerCore:
+      return "sequential-per-core";
+    case BatchMode::kOnePerSocket:
+      return "one-per-socket";
+  }
+  return "unknown";
+}
+
+std::vector<std::vector<Vertex>> MakeBatches(std::span<const Vertex> sources,
+                                             int batch_size) {
+  PBFS_CHECK(batch_size > 0);
+  std::vector<std::vector<Vertex>> batches;
+  for (size_t i = 0; i < sources.size(); i += batch_size) {
+    size_t end = std::min(sources.size(), i + batch_size);
+    batches.emplace_back(sources.begin() + i, sources.begin() + end);
+  }
+  return batches;
+}
+
+BatchReport RunMultiSourceBatches(const Graph& graph,
+                                  std::span<const Vertex> sources,
+                                  BatchMode mode, const BatchOptions& options,
+                                  const ComponentInfo* components) {
+  PBFS_CHECK(IsSupportedWidth(options.width));
+  PBFS_CHECK(options.batch_size <= options.width);
+  PBFS_CHECK(options.num_threads > 0);
+  switch (mode) {
+    case BatchMode::kParallel:
+      return RunParallelMode(graph, sources, options, components);
+    case BatchMode::kSequentialPerCore:
+      return RunSequentialPerCoreMode(graph, sources, options, components);
+    case BatchMode::kOnePerSocket:
+      return RunOnePerSocketMode(graph, sources, options, components);
+  }
+  return {};
+}
+
+BatchReport RunSingleSourceSweep(const Graph& graph,
+                                 std::span<const Vertex> sources,
+                                 SmsVariant variant,
+                                 const BatchOptions& options,
+                                 const ComponentInfo* components) {
+  WorkerPool::Options pool_options;
+  pool_options.num_workers = options.num_threads;
+  pool_options.pin_threads = options.pin_threads;
+  pool_options.topology = options.topology;
+  WorkerPool pool(pool_options);
+  std::unique_ptr<SingleSourceBfsBase> bfs =
+      MakeSmsPbfs(graph, variant, &pool);
+
+  BatchReport report;
+  report.num_batches = static_cast<int>(sources.size());
+  report.threads_used = options.num_threads;
+  report.state_bytes = bfs->StateBytes();
+
+  Timer timer;
+  for (Vertex s : sources) {
+    BfsResult r = bfs->Run(s, options.bfs, nullptr);
+    report.total_visits += r.vertices_visited;
+  }
+  FillDerivedMetrics(options, sources, components, timer.ElapsedSeconds(),
+                     &report);
+  return report;
+}
+
+}  // namespace pbfs

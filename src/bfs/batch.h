@@ -1,0 +1,92 @@
+// Batch runners: the deployment modes compared throughout Section 5.
+//
+// Multi-source runs process `sources` in batches of at most the bitset
+// width, under one of three modes:
+//
+// * kParallel        — one MS-PBFS instance using all threads; batches
+//                      run one after another. Saturates the machine with
+//                      a single 64-source batch and holds only one
+//                      instance's state (the paper's headline mode).
+// * kSequentialPerCore — the MS-BFS deployment model: one sequential
+//                      instance per thread, batches dealt to threads.
+//                      Needs batch_size * num_threads sources to
+//                      saturate the machine and num_threads times the
+//                      state memory (Figures 2 and 3). Runs either the
+//                      faithful MS-BFS baseline or the MS-PBFS kernel on
+//                      a SerialExecutor ("MS-PBFS (sequential)").
+// * kOnePerSocket    — one MS-PBFS instance per CPU socket, each with
+//                      the socket's share of threads; used in Section
+//                      5.3.1 to isolate the cost of cross-socket
+//                      parallelization.
+//
+// Single-source runs sweep the sources one at a time through one
+// SMS-PBFS instance using all threads.
+#ifndef PBFS_BFS_BATCH_H_
+#define PBFS_BFS_BATCH_H_
+
+#include <span>
+#include <vector>
+
+#include "bfs/common.h"
+#include "bfs/multi_source.h"
+#include "bfs/single_source.h"
+#include "graph/components.h"
+#include "graph/graph.h"
+#include "platform/topology.h"
+
+namespace pbfs {
+
+enum class BatchMode { kParallel, kSequentialPerCore, kOnePerSocket };
+
+const char* BatchModeName(BatchMode mode);
+
+struct BatchOptions {
+  int width = 64;       // bitset width (one of kSupportedWidths)
+  int batch_size = 64;  // sources per batch; must be <= width
+  int num_threads = 1;
+  // kSequentialPerCore only: run the faithful sequential MS-BFS baseline
+  // instead of MS-PBFS on a serial executor.
+  bool msbfs_baseline = false;
+  // kOnePerSocket only: number of instances; defaults to the topology's
+  // node count when 0.
+  int num_sockets = 0;
+  bool pin_threads = true;
+  const Topology* topology = nullptr;  // detected when null
+  BfsOptions bfs;
+};
+
+struct BatchReport {
+  double seconds = 0;
+  int num_batches = 0;
+  uint64_t total_visits = 0;
+  // Filled when components are provided:
+  uint64_t traversed_edges = 0;
+  double gteps = 0;
+  // Threads that processed at least one unit of work; for the per-core
+  // mode this exposes the under-utilization of Figure 2.
+  int threads_used = 0;
+  // State bytes held live across all instances (Figure 3 accounting).
+  uint64_t state_bytes = 0;
+};
+
+// Runs multi-source BFSs over all `sources`. Levels are not recorded
+// (benchmark mode); use MultiSourceBfsBase directly for level output.
+BatchReport RunMultiSourceBatches(const Graph& graph,
+                                  std::span<const Vertex> sources,
+                                  BatchMode mode, const BatchOptions& options,
+                                  const ComponentInfo* components);
+
+// Runs one single-source BFS per source on an all-thread SMS-PBFS.
+BatchReport RunSingleSourceSweep(const Graph& graph,
+                                 std::span<const Vertex> sources,
+                                 SmsVariant variant,
+                                 const BatchOptions& options,
+                                 const ComponentInfo* components);
+
+// Splits `sources` into batches of `batch_size`.
+std::vector<std::vector<Vertex>> MakeBatches(std::span<const Vertex> sources,
+                                             int batch_size);
+
+}  // namespace pbfs
+
+#endif  // PBFS_BFS_BATCH_H_

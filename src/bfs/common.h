@@ -1,0 +1,135 @@
+// Shared types for all BFS variants: levels, tuning options, results,
+// and the per-worker/per-iteration instrumentation used by the skew and
+// labeling experiments (Figures 6-9).
+#ifndef PBFS_BFS_COMMON_H_
+#define PBFS_BFS_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/aligned_buffer.h"
+#include "util/check.h"
+
+namespace pbfs {
+
+// BFS distance from the source. 16 bits bound the supported diameter at
+// 65534, far beyond any small-world graph and checked at runtime.
+using Level = uint16_t;
+inline constexpr Level kLevelUnreached = 0xFFFF;
+inline constexpr Level kMaxLevel = 0xFFFE;
+
+// Direction of one BFS iteration.
+enum class Direction { kTopDown, kBottomUp };
+
+// Per-iteration, per-worker instrumentation. Collection is optional
+// (pass stats == nullptr to the kernels for zero overhead); when active,
+// workers accumulate into cache-line-padded slots and the kernel
+// snapshots them at the end of each iteration.
+class TraversalStats {
+ public:
+  struct Iteration {
+    Direction direction = Direction::kTopDown;
+    double runtime_ms = 0;
+    uint64_t vertices_discovered = 0;
+    // Per-worker breakdowns.
+    std::vector<uint64_t> neighbors_visited;
+    std::vector<uint64_t> states_updated;
+    std::vector<double> busy_ms;
+  };
+
+  void Reset(int num_workers) {
+    num_workers_ = num_workers;
+    live_.assign(num_workers, Slot{});
+    iterations_.clear();
+  }
+
+  int num_workers() const { return num_workers_; }
+
+  // Called by worker threads at the end of each task (no two workers
+  // share a slot, so no synchronization is needed).
+  void Accumulate(int worker, uint64_t neighbors, uint64_t updates,
+                  int64_t busy_ns) {
+    Slot& s = live_[worker];
+    s.neighbors += neighbors;
+    s.updates += updates;
+    s.busy_ns += busy_ns;
+  }
+
+  // Called by the coordinating thread between iterations; snapshots and
+  // clears the live counters.
+  void FinishIteration(Direction direction, double runtime_ms,
+                       uint64_t discovered) {
+    Iteration iter;
+    iter.direction = direction;
+    iter.runtime_ms = runtime_ms;
+    iter.vertices_discovered = discovered;
+    iter.neighbors_visited.reserve(num_workers_);
+    for (Slot& s : live_) {
+      iter.neighbors_visited.push_back(s.neighbors);
+      iter.states_updated.push_back(s.updates);
+      iter.busy_ms.push_back(static_cast<double>(s.busy_ns) / 1e6);
+      s = Slot{};
+    }
+    iterations_.push_back(std::move(iter));
+  }
+
+  const std::vector<Iteration>& iterations() const { return iterations_; }
+
+ private:
+  struct alignas(kCacheLineSize) Slot {
+    uint64_t neighbors = 0;
+    uint64_t updates = 0;
+    int64_t busy_ns = 0;
+  };
+
+  int num_workers_ = 0;
+  std::vector<Slot> live_;
+  std::vector<Iteration> iterations_;
+};
+
+// Tuning knobs shared by all traversal kernels.
+struct BfsOptions {
+  // Desired vertices per task; kernels round this up so task borders
+  // coincide with page borders of the BFS state (Section 4.4). The
+  // paper found >= 256 vertices keeps scheduling overhead below 1%.
+  uint32_t split_size = 1024;
+
+  // Direction-optimization thresholds (Beamer et al.): switch top-down ->
+  // bottom-up when the frontier's outgoing edges exceed
+  // remaining_edges / alpha; switch back when the frontier shrinks below
+  // num_vertices / beta.
+  double alpha = 15.0;
+  double beta = 18.0;
+
+  // Force pure top-down traversal (used by tests and ablations).
+  bool enable_bottom_up = true;
+
+  // Stop after discovering vertices at this distance: only vertices with
+  // level <= max_level are visited/reported. The default traverses the
+  // whole component. Bounded traversals serve neighborhood queries
+  // (k-hop enumeration) without paying for the full BFS.
+  Level max_level = kMaxLevel;
+
+  // Optional instrumentation; adds timing calls per task when set.
+  TraversalStats* stats = nullptr;
+};
+
+// Outcome of one single-source traversal.
+struct BfsResult {
+  uint64_t vertices_visited = 0;  // including the source
+  int iterations = 0;
+  int bottom_up_iterations = 0;
+};
+
+// Outcome of one multi-source batch.
+struct MsBfsResult {
+  // Total vertex visits summed over the concurrent BFSs (a vertex
+  // discovered by b BFSs counts b times).
+  uint64_t total_visits = 0;
+  int iterations = 0;
+  int bottom_up_iterations = 0;
+};
+
+}  // namespace pbfs
+
+#endif  // PBFS_BFS_COMMON_H_

@@ -1,0 +1,32 @@
+// GTEPS accounting per the Graph500 definition used in the paper
+// (Section 5): the traversed-edge count of one BFS is the number of
+// undirected input edges in the connected component of its source, each
+// counted once. (The original MS-BFS paper counted both directions;
+// divide its numbers by two to compare, as the paper notes.)
+#ifndef PBFS_BFS_GTEPS_H_
+#define PBFS_BFS_GTEPS_H_
+
+#include <span>
+
+#include "graph/components.h"
+#include "graph/types.h"
+
+namespace pbfs {
+
+// Total edges "traversed" by BFSs from `sources`.
+inline uint64_t TraversedEdges(const ComponentInfo& components,
+                               std::span<const Vertex> sources) {
+  uint64_t total = 0;
+  for (Vertex s : sources) total += components.EdgesReachableFrom(s);
+  return total;
+}
+
+// Giga traversed edges per second.
+inline double Gteps(uint64_t traversed_edges, double seconds) {
+  if (seconds <= 0) return 0;
+  return static_cast<double>(traversed_edges) / seconds / 1e9;
+}
+
+}  // namespace pbfs
+
+#endif  // PBFS_BFS_GTEPS_H_

@@ -1,0 +1,309 @@
+// MS-PBFS — the paper's parallel multi-source BFS (Section 3.1).
+//
+// Both top-down phases and the bottom-up loop are vertex-parallel on an
+// Executor. Synchronization analysis from the paper:
+//  * Top-down phase 1 is the only loop with write-write conflicts
+//    (multiple workers OR different frontiers into the same neighbor's
+//    `next` bitset); resolved with per-word atomic ORs that skip words
+//    that would not change, avoiding cache-line invalidations.
+//  * Top-down phase 2 and bottom-up have a bijective mapping between
+//    vertices and updated entries, so within the disjoint task ranges no
+//    synchronization is needed; the ParallelFor barrier separates phases.
+//
+// MS-PBFS-specific optimizations over the MS-BFS baseline:
+//  * frontier entries are cleared inside the traversal loop, so the
+//    frontier buffer is handed over as the next iteration's `next`
+//    without a separate clearing pass (top-down);
+//  * the bottom-up neighbor scan stops once every concurrent BFS has
+//    accounted for the vertex;
+//  * state is first-touch initialized with stealing disabled so pages
+//    live on the NUMA node of the owning worker (Section 4.4).
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "bfs/multi_source.h"
+#include "sched/numa_layout.h"
+#include "util/aligned_buffer.h"
+#include "util/bitset.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace pbfs {
+namespace {
+
+// Per-worker reduction slot, cache-line padded to avoid false sharing.
+struct alignas(kCacheLineSize) WorkerReduction {
+  uint64_t discovered_vertices = 0;
+  uint64_t discovered_visits = 0;
+  uint64_t scout_edges = 0;
+};
+
+template <int kBits>
+class MsPbfs final : public MultiSourceBfsBase {
+ public:
+  MsPbfs(const Graph& graph, Executor* executor)
+      : graph_(graph), executor_(executor) {
+    const Vertex n = graph.num_vertices();
+    seen_.Reset(n);
+    frontier_.Reset(n);
+    next_.Reset(n);
+    reduction_.assign(executor->num_workers(), WorkerReduction{});
+    // First touch with stealing disabled: pages of all three state
+    // arrays are placed on the NUMA node of the worker that owns the
+    // corresponding task range (Section 4.4). Uses the same split size
+    // as the traversal loops below.
+    split_size_ = PageAlignedSplitSize(kDesiredSplitSize, sizeof(Bitset<kBits>));
+    executor_->FirstTouchFor(n, split_size_, [this](int, uint64_t b,
+                                                    uint64_t e) {
+      std::memset(seen_.data() + b, 0, (e - b) * sizeof(Bitset<kBits>));
+      std::memset(frontier_.data() + b, 0, (e - b) * sizeof(Bitset<kBits>));
+      std::memset(next_.data() + b, 0, (e - b) * sizeof(Bitset<kBits>));
+    });
+  }
+
+  int width() const override { return kBits; }
+
+  uint64_t StateBytes() const override {
+    return seen_.size_bytes() + frontier_.size_bytes() + next_.size_bytes();
+  }
+
+  MsBfsResult Run(std::span<const Vertex> sources, const BfsOptions& options,
+                  Level* levels) override {
+    const Vertex n = graph_.num_vertices();
+    const int k = static_cast<int>(sources.size());
+    PBFS_CHECK(k > 0 && k <= kBits);
+    const uint32_t split =
+        PageAlignedSplitSize(options.split_size, sizeof(Bitset<kBits>));
+    TraversalStats* stats = options.stats;
+    if (stats != nullptr) stats->Reset(executor_->num_workers());
+
+    // State may be dirty from a previous batch; clear in parallel with
+    // owner-only tasks to keep page placement intact.
+    executor_->FirstTouchFor(n, split, [this](int, uint64_t b, uint64_t e) {
+      std::memset(seen_.data() + b, 0, (e - b) * sizeof(Bitset<kBits>));
+      std::memset(frontier_.data() + b, 0, (e - b) * sizeof(Bitset<kBits>));
+      std::memset(next_.data() + b, 0, (e - b) * sizeof(Bitset<kBits>));
+    });
+    if (levels != nullptr) {
+      std::fill(levels, levels + static_cast<size_t>(k) * n, kLevelUnreached);
+    }
+
+    MsBfsResult result;
+    result.total_visits = k;
+    uint64_t frontier_vertices = 0;
+    uint64_t scout_edges = 0;
+    for (int i = 0; i < k; ++i) {
+      PBFS_CHECK(sources[i] < n);
+      if (frontier_[sources[i]].None()) ++frontier_vertices;
+      seen_[sources[i]].Set(i);
+      frontier_[sources[i]].Set(i);
+      scout_edges += graph_.Degree(sources[i]);
+      if (levels != nullptr) levels[static_cast<size_t>(i) * n + sources[i]] = 0;
+    }
+
+    const Bitset<kBits> active = Bitset<kBits>::LowBits(k);
+    uint64_t edges_to_check = graph_.num_directed_edges();
+    bool bottom_up = false;
+    Level depth = 0;
+
+    while (frontier_vertices > 0) {
+      PBFS_CHECK(depth < kMaxLevel);
+      if (depth >= options.max_level) break;  // bounded traversal
+      ++depth;
+
+      if (options.enable_bottom_up) {
+        if (!bottom_up && static_cast<double>(scout_edges) >
+                              static_cast<double>(edges_to_check) /
+                                  options.alpha) {
+          bottom_up = true;
+        } else if (bottom_up &&
+                   static_cast<double>(frontier_vertices) <
+                       static_cast<double>(n) / options.beta) {
+          bottom_up = false;
+        }
+      }
+      edges_to_check -= std::min(edges_to_check, scout_edges);
+
+      for (WorkerReduction& r : reduction_) r = WorkerReduction{};
+      Timer iteration_timer;
+
+      if (!bottom_up) {
+        RunTopDown(n, split, depth, levels, stats);
+      } else {
+        RunBottomUp(n, split, depth, levels, active, stats);
+      }
+
+      uint64_t discovered_vertices = 0;
+      uint64_t discovered_visits = 0;
+      scout_edges = 0;
+      for (const WorkerReduction& r : reduction_) {
+        discovered_vertices += r.discovered_vertices;
+        discovered_visits += r.discovered_visits;
+        scout_edges += r.scout_edges;
+      }
+      if (stats != nullptr) {
+        stats->FinishIteration(
+            bottom_up ? Direction::kBottomUp : Direction::kTopDown,
+            iteration_timer.ElapsedMillis(), discovered_vertices);
+      }
+
+      result.total_visits += discovered_visits;
+      if (discovered_vertices > 0) {
+        ++result.iterations;
+        if (bottom_up) ++result.bottom_up_iterations;
+      }
+      frontier_vertices = discovered_vertices;
+    }
+    return result;
+  }
+
+ private:
+  static constexpr uint32_t kDesiredSplitSize = 1024;
+
+  void RunTopDown(Vertex n, uint32_t split, Level depth, Level* levels,
+                  TraversalStats* stats) {
+    // Phase 1: aggregate reachability. `frontier` and the graph are
+    // read-only except for the owner's in-loop clear of frontier[v]
+    // (only the task owner ever reads frontier[v] in top-down, so the
+    // clear needs no synchronization and saves the separate clearing
+    // pass). Writes to next[nb] race across workers -> atomic OR.
+    executor_->ParallelFor(n, split, [&](int w, uint64_t b, uint64_t e) {
+      int64_t t0 = stats != nullptr ? NowNanos() : 0;
+      uint64_t neighbors_visited = 0;
+      for (uint64_t v = b; v < e; ++v) {
+        if (frontier_[v].None()) continue;
+        const Bitset<kBits> f = frontier_[v];
+        for (Vertex nb : graph_.Neighbors(v)) {
+          next_[nb].AtomicOr(f);
+          ++neighbors_visited;
+        }
+        frontier_[v].Clear();
+      }
+      if (stats != nullptr) {
+        stats->Accumulate(w, neighbors_visited, 0, NowNanos() - t0);
+      }
+    });
+
+    // Phase 2: identify newly discovered vertices. Bijective
+    // vertex-to-entry mapping -> no synchronization. Also normalizes
+    // next[v] (stale bits from an earlier iteration are subsets of seen
+    // and get stripped / overwritten here).
+    executor_->ParallelFor(n, split, [&](int w, uint64_t b, uint64_t e) {
+      int64_t t0 = stats != nullptr ? NowNanos() : 0;
+      WorkerReduction local;
+      for (uint64_t v = b; v < e; ++v) {
+        if (next_[v].None()) continue;
+        const Bitset<kBits> nf = next_[v] & ~seen_[v];
+        if (nf != next_[v]) next_[v] = nf;  // write only on change
+        if (nf.None()) continue;
+        seen_[v] |= nf;
+        Visit(static_cast<Vertex>(v), nf, depth, levels);
+        ++local.discovered_vertices;
+        local.discovered_visits += nf.Count();
+        local.scout_edges += graph_.Degree(static_cast<Vertex>(v));
+      }
+      WorkerReduction& out = reduction_[w];
+      out.discovered_vertices += local.discovered_vertices;
+      out.discovered_visits += local.discovered_visits;
+      out.scout_edges += local.scout_edges;
+      if (stats != nullptr) {
+        stats->Accumulate(w, 0, local.discovered_vertices, NowNanos() - t0);
+      }
+    });
+
+    // The frontier buffer was cleared in phase 1; reuse it as next.
+    std::swap(frontier_, next_);
+  }
+
+  void RunBottomUp(Vertex n, uint32_t split, Level depth, Level* levels,
+                   const Bitset<kBits>& active, TraversalStats* stats) {
+    executor_->ParallelFor(n, split, [&](int w, uint64_t b, uint64_t e) {
+      int64_t t0 = stats != nullptr ? NowNanos() : 0;
+      WorkerReduction local;
+      uint64_t neighbors_visited = 0;
+      for (uint64_t u = b; u < e; ++u) {
+        if (seen_[u] == active) {
+          // Fully discovered; next[u] may hold stale bits from an older
+          // frontier, which must not leak into the next frontier.
+          if (next_[u].Any()) next_[u].Clear();
+          continue;
+        }
+        Bitset<kBits> acc = next_[u];
+        for (Vertex v : graph_.Neighbors(u)) {
+          acc |= frontier_[v];
+          ++neighbors_visited;
+          // Early exit: stop scanning once every active BFS has either
+          // seen u or will discover it now.
+          if ((acc | seen_[u]) == active) break;
+        }
+        const Bitset<kBits> nf = acc & ~seen_[u];
+        next_[u] = nf;
+        if (nf.None()) continue;
+        seen_[u] |= nf;
+        Visit(static_cast<Vertex>(u), nf, depth, levels);
+        ++local.discovered_vertices;
+        local.discovered_visits += nf.Count();
+        local.scout_edges += graph_.Degree(static_cast<Vertex>(u));
+      }
+      WorkerReduction& out = reduction_[w];
+      out.discovered_vertices += local.discovered_vertices;
+      out.discovered_visits += local.discovered_visits;
+      out.scout_edges += local.scout_edges;
+      if (stats != nullptr) {
+        stats->Accumulate(w, neighbors_visited, local.discovered_vertices,
+                          NowNanos() - t0);
+      }
+    });
+
+    // Bottom-up reads frontier[*] for arbitrary neighbors, so it cannot
+    // be cleared in-loop; clear it now so the buffer can serve as next.
+    executor_->ParallelFor(n, split, [&](int, uint64_t b, uint64_t e) {
+      for (uint64_t v = b; v < e; ++v) {
+        if (frontier_[v].Any()) frontier_[v].Clear();
+      }
+    });
+    std::swap(frontier_, next_);
+  }
+
+  void Visit(Vertex v, const Bitset<kBits>& bfs_bits, Level depth,
+             Level* levels) {
+    if (levels == nullptr) return;
+    const size_t n = graph_.num_vertices();
+    bfs_bits.ForEachSetBit([&](int bfs) {
+      levels[static_cast<size_t>(bfs) * n + v] = depth;
+    });
+  }
+
+  const Graph& graph_;
+  Executor* executor_;
+  uint32_t split_size_ = kDesiredSplitSize;
+  AlignedBuffer<Bitset<kBits>> seen_;
+  AlignedBuffer<Bitset<kBits>> frontier_;
+  AlignedBuffer<Bitset<kBits>> next_;
+  std::vector<WorkerReduction> reduction_;
+};
+
+}  // namespace
+
+std::unique_ptr<MultiSourceBfsBase> MakeMsPbfs(const Graph& graph, int width,
+                                               Executor* executor) {
+  switch (width) {
+    case 64:
+      return std::make_unique<MsPbfs<64>>(graph, executor);
+    case 128:
+      return std::make_unique<MsPbfs<128>>(graph, executor);
+    case 256:
+      return std::make_unique<MsPbfs<256>>(graph, executor);
+    case 512:
+      return std::make_unique<MsPbfs<512>>(graph, executor);
+    case 1024:
+      return std::make_unique<MsPbfs<1024>>(graph, executor);
+    default:
+      PBFS_CHECK(false && "unsupported bitset width");
+  }
+  return nullptr;
+}
+
+}  // namespace pbfs

@@ -1,0 +1,45 @@
+#include "bfs/sequential.h"
+
+#include <vector>
+
+namespace pbfs {
+
+BfsResult SequentialBfs(const Graph& graph, Vertex source, Level* levels) {
+  const Vertex n = graph.num_vertices();
+  PBFS_CHECK(source < n);
+  std::vector<Level> local;
+  if (levels == nullptr) {
+    local.assign(n, kLevelUnreached);
+    levels = local.data();
+  } else {
+    std::fill(levels, levels + n, kLevelUnreached);
+  }
+
+  std::vector<Vertex> frontier;
+  std::vector<Vertex> next;
+  frontier.push_back(source);
+  levels[source] = 0;
+
+  BfsResult result;
+  result.vertices_visited = 1;
+  Level depth = 0;
+  while (!frontier.empty()) {
+    PBFS_CHECK(depth < kMaxLevel);
+    ++depth;
+    for (Vertex v : frontier) {
+      for (Vertex nb : graph.Neighbors(v)) {
+        if (levels[nb] == kLevelUnreached) {
+          levels[nb] = depth;
+          next.push_back(nb);
+          ++result.vertices_visited;
+        }
+      }
+    }
+    frontier.swap(next);
+    next.clear();
+    if (!frontier.empty()) ++result.iterations;
+  }
+  return result;
+}
+
+}  // namespace pbfs

@@ -1,0 +1,19 @@
+// Textbook queue-based sequential BFS. This is the correctness reference
+// every other variant is tested against, and the "traditional BFS"
+// memory baseline of Figure 3.
+#ifndef PBFS_BFS_SEQUENTIAL_H_
+#define PBFS_BFS_SEQUENTIAL_H_
+
+#include "bfs/common.h"
+#include "graph/graph.h"
+
+namespace pbfs {
+
+// Runs a BFS from `source`, writing per-vertex distances into `levels`
+// (must hold graph.num_vertices() entries, or be null to skip level
+// output). Unreached vertices get kLevelUnreached.
+BfsResult SequentialBfs(const Graph& graph, Vertex source, Level* levels);
+
+}  // namespace pbfs
+
+#endif  // PBFS_BFS_SEQUENTIAL_H_

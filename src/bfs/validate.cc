@@ -1,0 +1,90 @@
+#include "bfs/validate.h"
+
+#include <cstdio>
+
+namespace pbfs {
+namespace {
+
+std::string Format(const char* fmt, uint64_t a, uint64_t b, uint64_t c) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), fmt, static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b),
+                static_cast<unsigned long long>(c));
+  return buf;
+}
+
+}  // namespace
+
+bool ValidateLevels(const Graph& graph, Vertex source, const Level* levels,
+                    const ComponentInfo* components, std::string* error) {
+  auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+  const Vertex n = graph.num_vertices();
+  if (source >= n) return fail("source out of range");
+  if (levels[source] != 0) {
+    return fail(Format("levels[source=%llu] = %llu, want 0", source,
+                       levels[source], 0));
+  }
+
+  for (Vertex v = 0; v < n; ++v) {
+    const Level lv = levels[v];
+    if (lv == 0 && v != source) {
+      return fail(Format("vertex %llu has level 0 but is not the source", v,
+                         0, 0));
+    }
+    if (lv == kLevelUnreached) continue;
+
+    // Rule 2: edges span at most one level (also catches a reached
+    // vertex adjacent to an unreached one, which is impossible).
+    for (Vertex nb : graph.Neighbors(v)) {
+      const Level ln = levels[nb];
+      if (ln == kLevelUnreached) {
+        return fail(Format(
+            "vertex %llu (level %llu) adjacent to unreached vertex %llu", v,
+            lv, nb));
+      }
+      const Level lo = lv < ln ? lv : ln;
+      const Level hi = lv < ln ? ln : lv;
+      if (hi - lo > 1) {
+        return fail(Format("edge (%llu, %llu) spans more than one level", v,
+                           nb, 0));
+      }
+    }
+
+    // Rule 3: a parent one level closer exists.
+    if (v != source) {
+      bool has_parent = false;
+      for (Vertex nb : graph.Neighbors(v)) {
+        if (levels[nb] + 1 == lv) {
+          has_parent = true;
+          break;
+        }
+      }
+      if (!has_parent) {
+        return fail(Format(
+            "vertex %llu at level %llu has no neighbor at level %llu", v, lv,
+            lv - 1));
+      }
+    }
+  }
+
+  // Rule 4: reachability matches connectivity.
+  if (components != nullptr) {
+    const uint32_t source_comp = components->component_of[source];
+    for (Vertex v = 0; v < n; ++v) {
+      const bool reached = levels[v] != kLevelUnreached;
+      const bool connected = components->component_of[v] == source_comp;
+      if (reached != connected) {
+        return fail(Format(
+            "vertex %llu reachability (%llu) disagrees with component "
+            "membership (%llu)",
+            v, reached ? 1 : 0, connected ? 1 : 0));
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace pbfs

@@ -1,0 +1,31 @@
+// Graph500-style result validation: checks that a level array is a
+// correct BFS distance labeling without reference to any particular
+// traversal order. Used by tests and by the graph500-style example's
+// self-check.
+#ifndef PBFS_BFS_VALIDATE_H_
+#define PBFS_BFS_VALIDATE_H_
+
+#include <string>
+
+#include "bfs/common.h"
+#include "graph/components.h"
+#include "graph/graph.h"
+
+namespace pbfs {
+
+// Validates `levels` (num_vertices entries) as BFS distances from
+// `source`:
+//   1. levels[source] == 0 and no other vertex has level 0;
+//   2. every edge spans at most one level;
+//   3. every reached non-source vertex has a neighbor exactly one level
+//      closer;
+//   4. if `components` is provided: a vertex is reached iff it shares
+//      the source's component.
+// Returns true if all hold; otherwise fills *error (if non-null) with a
+// description of the first violation.
+bool ValidateLevels(const Graph& graph, Vertex source, const Level* levels,
+                    const ComponentInfo* components, std::string* error);
+
+}  // namespace pbfs
+
+#endif  // PBFS_BFS_VALIDATE_H_

@@ -1,0 +1,111 @@
+#include "graph/components.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace pbfs {
+namespace {
+
+// Union-find with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(Vertex n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), Vertex{0});
+    size_.assign(n, 1);
+  }
+
+  Vertex Find(Vertex x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(Vertex a, Vertex b) {
+    Vertex ra = Find(a);
+    Vertex rb = Find(b);
+    if (ra == rb) return;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+  }
+
+ private:
+  std::vector<Vertex> parent_;
+  std::vector<Vertex> size_;
+};
+
+}  // namespace
+
+uint32_t ComponentInfo::LargestComponent() const {
+  PBFS_CHECK(!vertex_count.empty());
+  uint32_t best = 0;
+  for (uint32_t c = 1; c < num_components(); ++c) {
+    if (vertex_count[c] > vertex_count[best]) best = c;
+  }
+  return best;
+}
+
+ComponentInfo ComputeComponents(const Graph& graph) {
+  const Vertex n = graph.num_vertices();
+  UnionFind uf(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v : graph.Neighbors(u)) {
+      if (v > u) uf.Union(u, v);  // each undirected edge once
+    }
+  }
+
+  ComponentInfo info;
+  info.component_of.assign(n, 0);
+  std::vector<uint32_t> root_to_id(n, 0xFFFFFFFFu);
+  uint32_t next_id = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    Vertex root = uf.Find(v);
+    if (root_to_id[root] == 0xFFFFFFFFu) {
+      root_to_id[root] = next_id++;
+      info.vertex_count.push_back(0);
+      info.edge_count.push_back(0);
+    }
+    uint32_t id = root_to_id[root];
+    info.component_of[v] = id;
+    ++info.vertex_count[id];
+  }
+  for (Vertex u = 0; u < n; ++u) {
+    uint32_t id = info.component_of[u];
+    for (Vertex v : graph.Neighbors(u)) {
+      if (v > u) ++info.edge_count[id];
+    }
+  }
+  return info;
+}
+
+std::vector<Vertex> PickSources(const Graph& graph, int count, uint64_t seed) {
+  PBFS_CHECK(count >= 0);
+  std::vector<Vertex> eligible;
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.Degree(v) > 0) eligible.push_back(v);
+  }
+  PBFS_CHECK(!eligible.empty());
+  Rng rng(seed);
+  std::vector<Vertex> sources;
+  sources.reserve(count);
+  if (static_cast<size_t>(count) <= eligible.size()) {
+    // Partial Fisher-Yates for distinct sources.
+    for (int i = 0; i < count; ++i) {
+      size_t j = i + rng.NextBounded(eligible.size() - i);
+      std::swap(eligible[i], eligible[j]);
+      sources.push_back(eligible[i]);
+    }
+  } else {
+    for (int i = 0; i < count; ++i) {
+      sources.push_back(eligible[rng.NextBounded(eligible.size())]);
+    }
+  }
+  return sources;
+}
+
+}  // namespace pbfs

@@ -1,0 +1,50 @@
+// Connected components and per-component edge accounting.
+//
+// The Graph500 / paper GTEPS metric defines the traversed edges of one
+// BFS as the number of undirected input edges in the connected component
+// containing the source, each counted once (Section 5). This module
+// computes component ids and per-component edge counts once per graph so
+// benchmark harnesses can convert runtimes into GTEPS.
+#ifndef PBFS_GRAPH_COMPONENTS_H_
+#define PBFS_GRAPH_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace pbfs {
+
+struct ComponentInfo {
+  // Component id per vertex; ids are dense in [0, num_components).
+  std::vector<uint32_t> component_of;
+  // Vertices per component.
+  std::vector<Vertex> vertex_count;
+  // Undirected edges per component, each counted once.
+  std::vector<EdgeIndex> edge_count;
+
+  uint32_t num_components() const {
+    return static_cast<uint32_t>(vertex_count.size());
+  }
+
+  // Graph500 edge count for a BFS rooted at `source`.
+  EdgeIndex EdgesReachableFrom(Vertex source) const {
+    return edge_count[component_of[source]];
+  }
+
+  // Id of the component with the most vertices.
+  uint32_t LargestComponent() const;
+};
+
+// Computes components with union-find (path halving + union by size).
+ComponentInfo ComputeComponents(const Graph& graph);
+
+// Picks `count` BFS source vertices uniformly at random among vertices
+// with degree >= 1, as the Graph500 benchmark does. Sources are distinct
+// unless count exceeds the number of eligible vertices.
+std::vector<Vertex> PickSources(const Graph& graph, int count, uint64_t seed);
+
+}  // namespace pbfs
+
+#endif  // PBFS_GRAPH_COMPONENTS_H_

@@ -1,0 +1,69 @@
+#include "graph/degree_stats.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace pbfs {
+
+DegreeStats ComputeDegreeStats(const Graph& graph) {
+  DegreeStats stats;
+  const Vertex n = graph.num_vertices();
+  if (n == 0) return stats;
+
+  std::vector<EdgeIndex> degrees(n);
+  uint64_t total = 0;
+  Vertex connected = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    EdgeIndex d = graph.Degree(v);
+    degrees[v] = d;
+    total += d;
+    stats.max_degree = std::max(stats.max_degree, d);
+    if (d == 0) {
+      ++stats.zero_degree_vertices;
+    } else {
+      ++connected;
+      int bucket = std::bit_width(d) - 1;  // floor(log2(d))
+      if (stats.log2_histogram.size() <= static_cast<size_t>(bucket)) {
+        stats.log2_histogram.resize(bucket + 1, 0);
+      }
+      ++stats.log2_histogram[bucket];
+    }
+  }
+  stats.average_degree = static_cast<double>(total) / n;
+  stats.average_connected =
+      connected > 0 ? static_cast<double>(total) / connected : 0.0;
+
+  // Vertices needed (highest degree first) to cover half the endpoints.
+  std::sort(degrees.begin(), degrees.end(), std::greater<EdgeIndex>());
+  uint64_t covered = 0;
+  for (Vertex i = 0; i < n; ++i) {
+    covered += degrees[i];
+    if (2 * covered >= total) {
+      stats.half_edges_vertex_count = i + 1;
+      break;
+    }
+  }
+  return stats;
+}
+
+double DegreeGini(const Graph& graph) {
+  const Vertex n = graph.num_vertices();
+  if (n == 0) return 0.0;
+  std::vector<EdgeIndex> degrees(n);
+  for (Vertex v = 0; v < n; ++v) degrees[v] = graph.Degree(v);
+  std::sort(degrees.begin(), degrees.end());
+  // Gini = (2 * sum(i * d_i) / (n * sum(d)) ) - (n + 1) / n, with d
+  // ascending and i starting at 1.
+  long double weighted = 0;
+  long double sum = 0;
+  for (Vertex i = 0; i < n; ++i) {
+    weighted += static_cast<long double>(i + 1) * degrees[i];
+    sum += degrees[i];
+  }
+  if (sum == 0) return 0.0;
+  long double g = (2.0L * weighted) / (static_cast<long double>(n) * sum) -
+                  (static_cast<long double>(n) + 1) / n;
+  return static_cast<double>(g);
+}
+
+}  // namespace pbfs

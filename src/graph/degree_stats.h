@@ -1,0 +1,36 @@
+// Degree-distribution statistics. The paper's graphs are characterized
+// by their power-law degree distributions (Section 2); these helpers
+// summarize a graph the same way (Table 1 style) and feed the labeling
+// experiments.
+#ifndef PBFS_GRAPH_DEGREE_STATS_H_
+#define PBFS_GRAPH_DEGREE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace pbfs {
+
+struct DegreeStats {
+  EdgeIndex max_degree = 0;
+  double average_degree = 0;      // over all vertices
+  double average_connected = 0;   // over vertices with degree >= 1
+  Vertex zero_degree_vertices = 0;
+  // Histogram over power-of-two buckets: bucket[i] counts vertices with
+  // degree in [2^i, 2^(i+1)) (bucket 0 additionally holds degree 1).
+  std::vector<Vertex> log2_histogram;
+  // Smallest number of vertices covering half of all edge endpoints; a
+  // tiny value signals a hub-dominated (power-law) graph.
+  Vertex half_edges_vertex_count = 0;
+};
+
+DegreeStats ComputeDegreeStats(const Graph& graph);
+
+// Gini coefficient of the degree distribution in [0, 1]; 0 = perfectly
+// uniform degrees, -> 1 = extreme hub concentration.
+double DegreeGini(const Graph& graph);
+
+}  // namespace pbfs
+
+#endif  // PBFS_GRAPH_DEGREE_STATS_H_

@@ -1,0 +1,264 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace pbfs {
+
+std::vector<Edge> KroneckerEdges(const KroneckerOptions& options) {
+  PBFS_CHECK(options.scale > 0 && options.scale < 32);
+  PBFS_CHECK(options.edge_factor > 0);
+  const Vertex n = Vertex{1} << options.scale;
+  const EdgeIndex m =
+      static_cast<EdgeIndex>(n) * static_cast<EdgeIndex>(options.edge_factor);
+  const double ab = options.a + options.b;
+  const double c_norm = options.c / (1.0 - ab);
+  const double a_norm = options.a / ab;
+
+  Rng rng(options.seed);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (EdgeIndex e = 0; e < m; ++e) {
+    Vertex u = 0;
+    Vertex v = 0;
+    // Recursively descend into one of the four quadrants per bit, as in
+    // the Graph500 octave reference kernel: ii_bit = rand > a+b, then
+    // jj_bit = rand > (c/(c+d) if ii_bit else a/(a+b)).
+    for (int bit = 0; bit < options.scale; ++bit) {
+      bool u_bit = rng.NextDouble() > ab;
+      bool v_bit = rng.NextDouble() > (u_bit ? c_norm : a_norm);
+      u |= static_cast<Vertex>(u_bit) << bit;
+      v |= static_cast<Vertex>(v_bit) << bit;
+    }
+    edges.push_back({u, v});
+  }
+
+  if (options.permute_vertices) {
+    // Random relabeling, as required by the Graph500 spec, so that vertex
+    // ids carry no locality information from the generator.
+    std::vector<Vertex> perm(n);
+    for (Vertex i = 0; i < n; ++i) perm[i] = i;
+    for (Vertex i = n; i > 1; --i) {
+      Vertex j = static_cast<Vertex>(rng.NextBounded(i));
+      std::swap(perm[i - 1], perm[j]);
+    }
+    for (Edge& e : edges) {
+      e.u = perm[e.u];
+      e.v = perm[e.v];
+    }
+  }
+  return edges;
+}
+
+Graph Kronecker(const KroneckerOptions& options) {
+  std::vector<Edge> edges = KroneckerEdges(options);
+  return Graph::FromEdges(Vertex{1} << options.scale, edges);
+}
+
+std::vector<Edge> SocialNetworkEdges(const SocialNetworkOptions& options) {
+  const Vertex n = options.num_vertices;
+  PBFS_CHECK(n > 1);
+  PBFS_CHECK(options.power_law_exponent > 1.0);
+  PBFS_CHECK(options.community_fraction >= 0.0 &&
+             options.community_fraction <= 1.0);
+  Rng rng(options.seed);
+
+  // Expected degrees from a discrete power law: w_i ~ i^(-1/(alpha-1)),
+  // scaled to the requested average degree (Chung-Lu model).
+  std::vector<double> weight(n);
+  const double exponent = -1.0 / (options.power_law_exponent - 1.0);
+  double sum = 0;
+  for (Vertex i = 0; i < n; ++i) {
+    weight[i] = std::pow(static_cast<double>(i + 1), exponent);
+    sum += weight[i];
+  }
+  const double scale = options.avg_degree * static_cast<double>(n) / sum;
+  for (Vertex i = 0; i < n; ++i) weight[i] *= scale;
+
+  // Communities: contiguous blocks with geometrically distributed sizes.
+  // comm_start[k] is the first vertex of community k.
+  std::vector<Vertex> comm_start;
+  std::vector<uint32_t> comm_of(n);
+  {
+    Vertex v = 0;
+    const double p = 1.0 / static_cast<double>(options.mean_community_size);
+    while (v < n) {
+      comm_start.push_back(v);
+      // Geometric size >= 1.
+      Vertex size = 1;
+      while (rng.NextDouble() > p && size < n - v) ++size;
+      Vertex end = std::min<Vertex>(n, v + size);
+      for (Vertex i = v; i < end; ++i) {
+        comm_of[i] = static_cast<uint32_t>(comm_start.size() - 1);
+      }
+      v = end;
+    }
+    comm_start.push_back(n);
+  }
+
+  // Global cumulative weights for weighted endpoint sampling.
+  std::vector<double> cumulative(n);
+  double acc = 0;
+  for (Vertex i = 0; i < n; ++i) {
+    acc += weight[i];
+    cumulative[i] = acc;
+  }
+  auto sample_global = [&]() -> Vertex {
+    double x = rng.NextDouble() * acc;
+    auto it = std::lower_bound(cumulative.begin(), cumulative.end(), x);
+    return static_cast<Vertex>(it - cumulative.begin());
+  };
+  auto sample_in_range = [&](Vertex lo, Vertex hi) -> Vertex {
+    // Weighted sample within [lo, hi) using the global prefix sums.
+    double base = lo == 0 ? 0.0 : cumulative[lo - 1];
+    double top = cumulative[hi - 1];
+    double x = base + rng.NextDouble() * (top - base);
+    auto it = std::lower_bound(cumulative.begin() + lo,
+                               cumulative.begin() + hi, x);
+    if (it == cumulative.begin() + hi) --it;
+    return static_cast<Vertex>(it - cumulative.begin());
+  };
+
+  const EdgeIndex m = static_cast<EdgeIndex>(
+      options.avg_degree * static_cast<double>(n) / 2.0);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (EdgeIndex e = 0; e < m; ++e) {
+    Vertex u = sample_global();
+    Vertex v;
+    if (rng.NextDouble() < options.community_fraction) {
+      uint32_t k = comm_of[u];
+      Vertex lo = comm_start[k];
+      Vertex hi = comm_start[k + 1];
+      v = hi - lo > 1 ? sample_in_range(lo, hi) : sample_global();
+    } else {
+      v = sample_global();
+    }
+    edges.push_back({u, v});
+  }
+  return edges;
+}
+
+Graph SocialNetwork(const SocialNetworkOptions& options) {
+  std::vector<Edge> edges = SocialNetworkEdges(options);
+  return Graph::FromEdges(options.num_vertices, edges);
+}
+
+std::vector<Edge> WebGraphEdges(const WebGraphOptions& options) {
+  const Vertex n = options.num_vertices;
+  PBFS_CHECK(n > 1);
+  PBFS_CHECK(options.locality_fraction >= 0 &&
+             options.locality_fraction <= 1);
+  PBFS_CHECK(options.copy_fraction >= 0 && options.copy_fraction <= 1);
+  Rng rng(options.seed);
+
+  const EdgeIndex m = static_cast<EdgeIndex>(
+      options.avg_degree * static_cast<double>(n) / 2.0);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  // Vertices are created in id order; every edge connects the new
+  // vertex to an earlier one, so the copying model is well defined.
+  // Start from a seed pair.
+  edges.push_back({0, 1});
+  while (edges.size() < m) {
+    // New endpoint: ids join proportionally to edge budget spent.
+    Vertex v = static_cast<Vertex>(
+        2 + rng.NextBounded(n - 2));
+    Vertex target;
+    if (rng.NextDouble() < options.locality_fraction) {
+      // Local link: a nearby smaller id (same "host" region).
+      uint64_t window = std::min<uint64_t>(options.locality_window, v);
+      target = static_cast<Vertex>(v - 1 - rng.NextBounded(window));
+    } else if (rng.NextDouble() < options.copy_fraction) {
+      // Copying model: replicate the endpoint of a random existing edge
+      // (equivalent to preferential attachment by degree).
+      const Edge& copied = edges[rng.NextBounded(edges.size())];
+      target = rng.NextBounded(2) == 0 ? copied.u : copied.v;
+    } else {
+      target = static_cast<Vertex>(rng.NextBounded(v));
+    }
+    if (target == v) continue;
+    edges.push_back({v, target});
+  }
+  return edges;
+}
+
+Graph WebGraph(const WebGraphOptions& options) {
+  std::vector<Edge> edges = WebGraphEdges(options);
+  return Graph::FromEdges(options.num_vertices, edges);
+}
+
+std::vector<Edge> ErdosRenyiEdges(Vertex num_vertices, EdgeIndex num_edges,
+                                  uint64_t seed) {
+  PBFS_CHECK(num_vertices > 1);
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  for (EdgeIndex e = 0; e < num_edges; ++e) {
+    Vertex u = static_cast<Vertex>(rng.NextBounded(num_vertices));
+    Vertex v = static_cast<Vertex>(rng.NextBounded(num_vertices));
+    edges.push_back({u, v});
+  }
+  return edges;
+}
+
+Graph ErdosRenyi(Vertex num_vertices, EdgeIndex num_edges, uint64_t seed) {
+  std::vector<Edge> edges = ErdosRenyiEdges(num_vertices, num_edges, seed);
+  return Graph::FromEdges(num_vertices, edges);
+}
+
+Graph Path(Vertex n) {
+  std::vector<Edge> edges;
+  for (Vertex i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  return Graph::FromEdges(n, edges);
+}
+
+Graph Cycle(Vertex n) {
+  PBFS_CHECK(n >= 3);
+  std::vector<Edge> edges;
+  for (Vertex i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  edges.push_back({n - 1, 0});
+  return Graph::FromEdges(n, edges);
+}
+
+Graph Star(Vertex n) {
+  PBFS_CHECK(n >= 1);
+  std::vector<Edge> edges;
+  for (Vertex i = 1; i < n; ++i) edges.push_back({0, i});
+  return Graph::FromEdges(n, edges);
+}
+
+Graph Complete(Vertex n) {
+  std::vector<Edge> edges;
+  for (Vertex i = 0; i < n; ++i) {
+    for (Vertex j = i + 1; j < n; ++j) edges.push_back({i, j});
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Graph Grid(Vertex rows, Vertex cols) {
+  PBFS_CHECK(rows >= 1 && cols >= 1);
+  std::vector<Edge> edges;
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c)});
+    }
+  }
+  return Graph::FromEdges(rows * cols, edges);
+}
+
+Graph BinaryTree(Vertex n) {
+  std::vector<Edge> edges;
+  for (Vertex i = 0; i < n; ++i) {
+    if (2 * i + 1 < n) edges.push_back({i, 2 * i + 1});
+    if (2 * i + 2 < n) edges.push_back({i, 2 * i + 2});
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+}  // namespace pbfs

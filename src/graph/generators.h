@@ -1,0 +1,91 @@
+// Synthetic graph generators used throughout the evaluation.
+//
+// * Kronecker: the Graph500 reference generator (initiator A=0.57,
+//   B=0.19, C=0.19, D=0.05, default edge factor 16) followed by a random
+//   vertex permutation, as the benchmark specifies. The paper's scale-N
+//   graph is `Kronecker({.scale = N})`. The KG0 graph used in the iBFS
+//   comparison is the same generator with an average out-degree of 1024.
+// * SocialNetwork: an LDBC-datagen substitute — a Chung-Lu power-law
+//   graph with community structure (see DESIGN.md, substitutions).
+// * ErdosRenyi: uniform random graphs for tests and microbenches.
+// * Deterministic structured graphs (path, cycle, star, grid, complete,
+//   binary tree) for unit and property tests.
+//
+// All generators are deterministic functions of their seed.
+#ifndef PBFS_GRAPH_GENERATORS_H_
+#define PBFS_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace pbfs {
+
+struct KroneckerOptions {
+  int scale = 16;           // 2^scale vertices
+  int edge_factor = 16;     // edges per vertex (Graph500 default)
+  uint64_t seed = 1;
+  // Graph500 initiator probabilities.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  // d = 1 - a - b - c
+  bool permute_vertices = true;  // Graph500 shuffles vertex labels.
+};
+
+// Generates the Graph500 Kronecker edge list.
+std::vector<Edge> KroneckerEdges(const KroneckerOptions& options);
+
+// Convenience: edge list -> Graph.
+Graph Kronecker(const KroneckerOptions& options);
+
+struct SocialNetworkOptions {
+  Vertex num_vertices = 1 << 16;
+  double avg_degree = 20.0;
+  double power_law_exponent = 2.2;   // degree distribution exponent
+  double community_fraction = 0.8;   // fraction of edges inside community
+  Vertex mean_community_size = 512;  // geometric community sizes
+  uint64_t seed = 7;
+};
+
+// LDBC-like social network: power-law degrees with community structure.
+std::vector<Edge> SocialNetworkEdges(const SocialNetworkOptions& options);
+Graph SocialNetwork(const SocialNetworkOptions& options);
+
+struct WebGraphOptions {
+  Vertex num_vertices = 1 << 16;
+  double avg_degree = 25.0;
+  // Fraction of links pointing to nearby page ids (URL-ordered web
+  // crawls like uk-2005 are strongly local).
+  double locality_fraction = 0.7;
+  Vertex locality_window = 1024;
+  // Among the non-local links, fraction created by the copying model
+  // (produces the heavy-tailed in-degree distribution of web graphs);
+  // the rest are uniform.
+  double copy_fraction = 0.8;
+  uint64_t seed = 17;
+};
+
+// Web-crawl-like graph (uk-2005 stand-in): copying-model skew plus
+// strong id locality. See DESIGN.md, substitutions.
+std::vector<Edge> WebGraphEdges(const WebGraphOptions& options);
+Graph WebGraph(const WebGraphOptions& options);
+
+// Uniform random graph with `num_edges` sampled edges (before dedup).
+std::vector<Edge> ErdosRenyiEdges(Vertex num_vertices, EdgeIndex num_edges,
+                                  uint64_t seed);
+Graph ErdosRenyi(Vertex num_vertices, EdgeIndex num_edges, uint64_t seed);
+
+// Deterministic structured graphs (no randomness, for tests).
+Graph Path(Vertex n);                 // 0-1-2-...-(n-1)
+Graph Cycle(Vertex n);                // path plus (n-1,0)
+Graph Star(Vertex n);                 // vertex 0 connected to all others
+Graph Complete(Vertex n);             // all pairs
+Graph Grid(Vertex rows, Vertex cols); // 4-neighbor lattice
+Graph BinaryTree(Vertex n);           // vertex i has children 2i+1, 2i+2
+
+}  // namespace pbfs
+
+#endif  // PBFS_GRAPH_GENERATORS_H_

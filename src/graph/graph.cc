@@ -1,0 +1,98 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace pbfs {
+
+Graph Graph::FromEdges(Vertex num_vertices, std::span<const Edge> edges) {
+  Graph g;
+  g.num_vertices_ = num_vertices;
+  g.offsets_.Reset(static_cast<size_t>(num_vertices) + 1);
+
+  // Degree counting pass over both edge directions, skipping self loops.
+  std::vector<EdgeIndex> degree(num_vertices, 0);
+  for (const Edge& e : edges) {
+    PBFS_CHECK(e.u < num_vertices && e.v < num_vertices);
+    if (e.u == e.v) continue;
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+
+  EdgeIndex total = 0;
+  for (Vertex v = 0; v < num_vertices; ++v) {
+    g.offsets_[v] = total;
+    total += degree[v];
+  }
+  g.offsets_[num_vertices] = total;
+
+  // Scatter pass.
+  AlignedBuffer<Vertex> raw_targets(total);
+  std::vector<EdgeIndex> cursor(g.offsets_.data(),
+                                g.offsets_.data() + num_vertices);
+  for (const Edge& e : edges) {
+    if (e.u == e.v) continue;
+    raw_targets[cursor[e.u]++] = e.v;
+    raw_targets[cursor[e.v]++] = e.u;
+  }
+
+  // Sort and deduplicate each adjacency list, compacting in place.
+  g.targets_.Reset(total);
+  EdgeIndex out = 0;
+  EdgeIndex read_begin = 0;
+  for (Vertex v = 0; v < num_vertices; ++v) {
+    EdgeIndex read_end = g.offsets_[v + 1];
+    std::sort(raw_targets.data() + read_begin, raw_targets.data() + read_end);
+    g.offsets_[v] = out;
+    Vertex prev = kInvalidVertex;
+    for (EdgeIndex i = read_begin; i < read_end; ++i) {
+      Vertex t = raw_targets[i];
+      if (t == prev) continue;
+      g.targets_[out++] = t;
+      prev = t;
+    }
+    read_begin = read_end;
+  }
+  g.offsets_[num_vertices] = out;
+  g.num_directed_edges_ = out;
+  return g;
+}
+
+Graph Graph::FromCsr(Vertex num_vertices, AlignedBuffer<EdgeIndex> offsets,
+                     AlignedBuffer<Vertex> targets) {
+  PBFS_CHECK(offsets.size() >= static_cast<size_t>(num_vertices) + 1);
+  PBFS_CHECK(offsets[0] == 0);
+  for (Vertex v = 0; v < num_vertices; ++v) {
+    PBFS_CHECK(offsets[v] <= offsets[v + 1]);
+  }
+  PBFS_CHECK(offsets[num_vertices] <= targets.size());
+  Graph g;
+  g.num_vertices_ = num_vertices;
+  g.num_directed_edges_ = offsets[num_vertices];
+  g.offsets_ = std::move(offsets);
+  g.targets_ = std::move(targets);
+  return g;
+}
+
+bool Graph::HasEdge(Vertex u, Vertex v) const {
+  PBFS_DCHECK(u < num_vertices_ && v < num_vertices_);
+  std::span<const Vertex> ns = Neighbors(u);
+  return std::binary_search(ns.begin(), ns.end(), v);
+}
+
+EdgeIndex Graph::MaxDegree() const {
+  EdgeIndex max_degree = 0;
+  for (Vertex v = 0; v < num_vertices_; ++v) {
+    max_degree = std::max(max_degree, Degree(v));
+  }
+  return max_degree;
+}
+
+Vertex Graph::NumConnectedVertices() const {
+  Vertex count = 0;
+  for (Vertex v = 0; v < num_vertices_; ++v) {
+    if (Degree(v) > 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace pbfs

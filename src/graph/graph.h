@@ -1,0 +1,91 @@
+// Compressed sparse row (CSR) representation of an undirected, unweighted
+// graph — the array-based graph storage all BFS variants in this library
+// traverse.
+//
+// Construction symmetrizes the input edge list, removes self loops and
+// duplicate edges, and sorts each adjacency list. The CSR arrays are
+// page-aligned so the NUMA placement scheme of Section 4.4 (neighbor
+// lists co-located with the worker that owns the vertex range) can place
+// them deterministically.
+#ifndef PBFS_GRAPH_GRAPH_H_
+#define PBFS_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/aligned_buffer.h"
+#include "util/check.h"
+
+namespace pbfs {
+
+class Graph {
+ public:
+  // Builds a graph with vertices [0, num_vertices) from an arbitrary
+  // edge list. Self loops are dropped; parallel edges are deduplicated;
+  // both directions are materialized.
+  static Graph FromEdges(Vertex num_vertices, std::span<const Edge> edges);
+
+  // Adopts already-built CSR arrays (used by the binary loader and the
+  // relabeling pass). `offsets` must have num_vertices + 1 monotonically
+  // non-decreasing entries; each adjacency list must be sorted,
+  // deduplicated, self-loop free, and symmetric.
+  static Graph FromCsr(Vertex num_vertices, AlignedBuffer<EdgeIndex> offsets,
+                       AlignedBuffer<Vertex> targets);
+
+  Graph() = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  Vertex num_vertices() const { return num_vertices_; }
+
+  // Number of undirected edges, each counted once (Graph500 accounting).
+  EdgeIndex num_edges() const { return num_directed_edges_ / 2; }
+
+  // Number of directed CSR entries (= 2 * num_edges()).
+  EdgeIndex num_directed_edges() const { return num_directed_edges_; }
+
+  EdgeIndex Degree(Vertex v) const {
+    PBFS_DCHECK(v < num_vertices_);
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  std::span<const Vertex> Neighbors(Vertex v) const {
+    PBFS_DCHECK(v < num_vertices_);
+    return {targets_.data() + offsets_[v],
+            static_cast<size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  bool HasEdge(Vertex u, Vertex v) const;
+
+  // Raw CSR arrays for the traversal kernels.
+  const EdgeIndex* offsets() const { return offsets_.data(); }
+  const Vertex* targets() const { return targets_.data(); }
+
+  // Estimated in-memory size in bytes, following the paper's Table 1
+  // accounting: 2 * 4 bytes per undirected edge (both CSR directions of
+  // 32-bit ids) plus the offset array.
+  uint64_t MemoryBytes() const {
+    return targets_.size_bytes() + offsets_.size_bytes();
+  }
+
+  // Maximum vertex degree.
+  EdgeIndex MaxDegree() const;
+
+  // Vertices with at least one neighbor (the paper's Table 1 counts only
+  // these).
+  Vertex NumConnectedVertices() const;
+
+ private:
+  Vertex num_vertices_ = 0;
+  EdgeIndex num_directed_edges_ = 0;
+  AlignedBuffer<EdgeIndex> offsets_;  // num_vertices_ + 1 entries
+  AlignedBuffer<Vertex> targets_;     // num_directed_edges_ entries
+};
+
+}  // namespace pbfs
+
+#endif  // PBFS_GRAPH_GRAPH_H_

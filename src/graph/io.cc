@@ -1,0 +1,122 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+namespace pbfs {
+namespace {
+
+constexpr char kMagic[8] = {'P', 'B', 'F', 'S', 'C', 'S', 'R', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+bool ReadEdgeListText(const std::string& path, std::vector<Edge>* edges,
+                      Vertex* num_vertices, bool renumber) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) return false;
+  edges->clear();
+  std::unordered_map<uint64_t, Vertex> remap;
+  auto map_id = [&](uint64_t raw) -> Vertex {
+    if (!renumber) return static_cast<Vertex>(raw);
+    auto [it, inserted] =
+        remap.try_emplace(raw, static_cast<Vertex>(remap.size()));
+    return it->second;
+  };
+  uint64_t max_id = 0;
+  char line[512];
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    char* p = line;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '#' || *p == '%' || *p == '\n' || *p == '\0') continue;
+    char* end = nullptr;
+    unsigned long long raw_u = std::strtoull(p, &end, 10);
+    if (end == p) return false;
+    p = end;
+    unsigned long long raw_v = std::strtoull(p, &end, 10);
+    if (end == p) return false;
+    Vertex u = map_id(raw_u);
+    Vertex v = map_id(raw_v);
+    max_id = std::max<uint64_t>(max_id, std::max<uint64_t>(u, v));
+    edges->push_back({u, v});
+  }
+  if (renumber) {
+    *num_vertices = static_cast<Vertex>(remap.size());
+  } else {
+    *num_vertices = edges->empty() ? 0 : static_cast<Vertex>(max_id + 1);
+  }
+  return true;
+}
+
+bool WriteEdgeListText(const std::string& path,
+                       const std::vector<Edge>& edges) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) return false;
+  for (const Edge& e : edges) {
+    if (std::fprintf(f.get(), "%u %u\n", e.u, e.v) < 0) return false;
+  }
+  return true;
+}
+
+bool WriteGraphBinary(const std::string& path, const Graph& graph) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return false;
+  uint64_t n = graph.num_vertices();
+  uint64_t m = graph.num_directed_edges();
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) != sizeof(kMagic)) {
+    return false;
+  }
+  if (std::fwrite(&n, sizeof(n), 1, f.get()) != 1) return false;
+  if (std::fwrite(&m, sizeof(m), 1, f.get()) != 1) return false;
+  if (n > 0 &&
+      std::fwrite(graph.offsets(), sizeof(EdgeIndex), n + 1, f.get()) !=
+          n + 1) {
+    return false;
+  }
+  if (m > 0 &&
+      std::fwrite(graph.targets(), sizeof(Vertex), m, f.get()) != m) {
+    return false;
+  }
+  return true;
+}
+
+bool ReadGraphBinary(const std::string& path, Graph* graph) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return false;
+  char magic[sizeof(kMagic)];
+  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic)) {
+    return false;
+  }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  uint64_t n = 0;
+  uint64_t m = 0;
+  if (std::fread(&n, sizeof(n), 1, f.get()) != 1) return false;
+  if (std::fread(&m, sizeof(m), 1, f.get()) != 1) return false;
+  if (n > 0xFFFFFFFFull) return false;
+  AlignedBuffer<EdgeIndex> offsets(n + 1);
+  AlignedBuffer<Vertex> targets(m);
+  if (n > 0 &&
+      std::fread(offsets.data(), sizeof(EdgeIndex), n + 1, f.get()) != n + 1) {
+    return false;
+  }
+  if (n == 0) offsets[0] = 0;
+  if (m > 0 && std::fread(targets.data(), sizeof(Vertex), m, f.get()) != m) {
+    return false;
+  }
+  if (offsets[n] != m) return false;
+  *graph = Graph::FromCsr(static_cast<Vertex>(n), std::move(offsets),
+                          std::move(targets));
+  return true;
+}
+
+}  // namespace pbfs

@@ -1,0 +1,39 @@
+// Graph I/O.
+//
+// Two formats:
+// * Text edge lists — one `u v` pair per line, `#` comments — the common
+//   interchange format for SNAP / WebGraph-derived datasets (twitter,
+//   uk-2005, hollywood-2011 in the paper ship as edge lists).
+// * A binary CSR snapshot (`.pbfs` files) for fast reload of large
+//   generated graphs between benchmark runs.
+//
+// All functions return false on malformed input or I/O failure instead
+// of aborting, so callers can report usable error messages.
+#ifndef PBFS_GRAPH_IO_H_
+#define PBFS_GRAPH_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace pbfs {
+
+// Reads a whitespace-separated edge list. Vertices are renumbered
+// densely in order of first appearance when `renumber` is true;
+// otherwise ids are used as-is and the vertex count is max id + 1.
+bool ReadEdgeListText(const std::string& path, std::vector<Edge>* edges,
+                      Vertex* num_vertices, bool renumber = false);
+
+// Writes `edges` as a text edge list.
+bool WriteEdgeListText(const std::string& path,
+                       const std::vector<Edge>& edges);
+
+// Binary CSR snapshot (little-endian, versioned header).
+bool WriteGraphBinary(const std::string& path, const Graph& graph);
+bool ReadGraphBinary(const std::string& path, Graph* graph);
+
+}  // namespace pbfs
+
+#endif  // PBFS_GRAPH_IO_H_

@@ -1,0 +1,87 @@
+// Vertex labeling (relabeling) schemes — Section 4.1/4.3 of the paper.
+//
+// * kRandom: random permutation; skew-resistant but cache-unfriendly.
+// * kDegreeOrdered: dense ids in decreasing degree order (Yasui et al.);
+//   cache-friendly but, combined with array-based partitioning, puts all
+//   expensive vertices into the first tasks (Figure 6).
+// * kStriped: the paper's contribution. Degree-ordered vertices are
+//   dealt round-robin across the workers' task ranges: rank 0 goes to
+//   the start of worker 0's first task, rank 1 to the start of worker
+//   1's first task, ..., then the second slots of the first tasks, then
+//   the workers' second tasks, and so on. High-degree vertices stay
+//   clustered (cache locality) but every worker's queue holds an equal
+//   share of them (skew resistance), and because high degrees land at
+//   the front of each queue, expensive tasks run first.
+//
+// A labeling here is a permutation `new_id = perm[old_id]`.
+#ifndef PBFS_GRAPH_LABELING_H_
+#define PBFS_GRAPH_LABELING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "sched/executor.h"
+
+namespace pbfs {
+
+enum class Labeling {
+  kIdentity,
+  kRandom,
+  kDegreeOrdered,
+  kStriped,
+};
+
+const char* LabelingName(Labeling labeling);
+
+// Shape of the parallel loops a striped labeling must match: the striped
+// permutation distributes ranks across `num_workers` round-robin task
+// queues with `split_size` vertices per task, exactly mirroring
+// CreateTasks in the scheduler.
+struct StripeShape {
+  int num_workers = 1;
+  uint32_t split_size = 1024;
+};
+
+// Returns perm with perm[old_id] = new_id.
+// `seed` is used by kRandom only; `shape` by kStriped only.
+std::vector<Vertex> ComputeLabeling(const Graph& graph, Labeling labeling,
+                                    const StripeShape& shape = {},
+                                    uint64_t seed = 42);
+
+// Degree-descending vertex ranking (rank 0 = highest degree). Ties are
+// broken by vertex id so results are deterministic.
+std::vector<Vertex> VerticesByDegreeDescending(const Graph& graph);
+
+// The striped permutation for a given rank order. Exposed separately so
+// tests can verify the stripe math on synthetic rank sequences.
+std::vector<Vertex> StripedPermutationFromRanks(
+    const std::vector<Vertex>& vertices_by_rank, const StripeShape& shape);
+
+// Rebuilds `graph` under `perm` (new_id = perm[old_id]); adjacency lists
+// of the result are sorted.
+Graph ApplyLabeling(const Graph& graph, const std::vector<Vertex>& perm);
+
+// Parallel variant of ApplyLabeling running the copy/sort passes on an
+// executor; produces the identical graph.
+Graph ApplyLabelingParallel(const Graph& graph,
+                            const std::vector<Vertex>& perm,
+                            Executor* executor);
+
+// True if `perm` is a bijection on [0, n).
+bool IsPermutation(const std::vector<Vertex>& perm);
+
+// Reorders every adjacency list by neighbor degree, descending (ties by
+// id). Bottom-up traversals probe a vertex's neighbors until one is in
+// the frontier; since high-degree vertices are discovered first in
+// small-world graphs, checking hubs first shortens the scan (the
+// neighbor-ordering optimization of Yasui et al., complementary to the
+// vertex labelings above). The result is NOT sorted by id, so
+// Graph::HasEdge must not be used on it.
+Graph SortNeighborsByDegree(const Graph& graph, Executor* executor);
+
+}  // namespace pbfs
+
+#endif  // PBFS_GRAPH_LABELING_H_

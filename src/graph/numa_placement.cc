@@ -1,0 +1,39 @@
+#include "graph/numa_placement.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace pbfs {
+
+Graph CloneNumaAware(const Graph& graph, WorkerPool* pool,
+                     uint32_t split_size) {
+  PBFS_CHECK(pool != nullptr);
+  PBFS_CHECK(split_size > 0);
+  const Vertex n = graph.num_vertices();
+  AlignedBuffer<EdgeIndex> offsets(static_cast<size_t>(n) + 1);
+  AlignedBuffer<Vertex> targets(graph.num_directed_edges());
+
+  // Owner-only first touch: worker w copies the offsets and adjacency
+  // lists of its task ranges. The offset array is written by the owner
+  // of each vertex; the targets array is written at [offsets[v],
+  // offsets[v+1]) exclusively by v's owner, so there are no overlapping
+  // writes and the page placement follows vertex ownership (edges on a
+  // page boundary between two owners are touched by whichever worker
+  // gets there first — exactly the paper's granularity).
+  pool->FirstTouchFor(n, split_size, [&](int, uint64_t b, uint64_t e) {
+    std::memcpy(offsets.data() + b, graph.offsets() + b,
+                (e - b) * sizeof(EdgeIndex));
+    const EdgeIndex edge_begin = graph.offsets()[b];
+    const EdgeIndex edge_end = graph.offsets()[e];
+    if (edge_end > edge_begin) {
+      std::memcpy(targets.data() + edge_begin, graph.targets() + edge_begin,
+                  (edge_end - edge_begin) * sizeof(Vertex));
+    }
+  });
+  offsets[n] = graph.offsets()[n];
+  if (n == 0) offsets[0] = 0;
+  return Graph::FromCsr(n, std::move(offsets), std::move(targets));
+}
+
+}  // namespace pbfs

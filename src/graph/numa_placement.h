@@ -1,0 +1,30 @@
+// NUMA-aware graph storage placement — the second half of Section 4.4.
+//
+// Besides the BFS state arrays, the paper also places the *graph* so
+// that the neighbor lists of the vertices in each task range live on
+// the NUMA node of the worker owning that range (analogous to Yasui et
+// al.'s GB partitioning, but at task granularity). CloneNumaAware
+// rebuilds a graph's CSR arrays with exactly that first-touch pattern:
+// worker w initializes the offset entries and adjacency data of every
+// task range it owns, with stealing disabled, so the OS places the
+// backing pages in w's NUMA region.
+#ifndef PBFS_GRAPH_NUMA_PLACEMENT_H_
+#define PBFS_GRAPH_NUMA_PLACEMENT_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "sched/worker_pool.h"
+
+namespace pbfs {
+
+// Returns a structurally identical copy of `graph` whose CSR pages were
+// first-touched by the workers that own the corresponding task ranges
+// under (num_workers, split_size) scheduling. Use the same split size
+// as the traversal loops.
+Graph CloneNumaAware(const Graph& graph, WorkerPool* pool,
+                     uint32_t split_size);
+
+}  // namespace pbfs
+
+#endif  // PBFS_GRAPH_NUMA_PLACEMENT_H_

@@ -1,0 +1,96 @@
+#include "graph/parallel_build.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/aligned_buffer.h"
+#include "util/check.h"
+
+namespace pbfs {
+namespace {
+
+constexpr uint32_t kEdgeSplit = 1 << 14;    // edges per task
+constexpr uint32_t kVertexSplit = 1 << 12;  // vertices per task
+
+}  // namespace
+
+Graph BuildGraphParallel(Vertex num_vertices, std::span<const Edge> edges,
+                         Executor* executor) {
+  // Pass 1: degree counting over both edge directions (atomic, edges are
+  // distributed over workers).
+  AlignedBuffer<EdgeIndex> counts(static_cast<size_t>(num_vertices) + 1);
+  counts.FillZero();
+  executor->ParallelFor(edges.size(), kEdgeSplit, [&](int, uint64_t b,
+                                                      uint64_t e) {
+    for (uint64_t i = b; i < e; ++i) {
+      const Edge& edge = edges[i];
+      PBFS_CHECK(edge.u < num_vertices && edge.v < num_vertices);
+      if (edge.u == edge.v) continue;
+      std::atomic_ref<EdgeIndex>(counts[edge.u])
+          .fetch_add(1, std::memory_order_relaxed);
+      std::atomic_ref<EdgeIndex>(counts[edge.v])
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Prefix sum -> provisional offsets (with duplicates still included).
+  AlignedBuffer<EdgeIndex> raw_offsets(static_cast<size_t>(num_vertices) + 1);
+  EdgeIndex total = 0;
+  for (Vertex v = 0; v < num_vertices; ++v) {
+    raw_offsets[v] = total;
+    total += counts[v];
+  }
+  raw_offsets[num_vertices] = total;
+
+  // Pass 2: scatter, reusing `counts` as atomic per-vertex cursors.
+  for (Vertex v = 0; v < num_vertices; ++v) counts[v] = raw_offsets[v];
+  AlignedBuffer<Vertex> raw_targets(total);
+  executor->ParallelFor(edges.size(), kEdgeSplit, [&](int, uint64_t b,
+                                                      uint64_t e) {
+    for (uint64_t i = b; i < e; ++i) {
+      const Edge& edge = edges[i];
+      if (edge.u == edge.v) continue;
+      EdgeIndex slot_u = std::atomic_ref<EdgeIndex>(counts[edge.u])
+                             .fetch_add(1, std::memory_order_relaxed);
+      raw_targets[slot_u] = edge.v;
+      EdgeIndex slot_v = std::atomic_ref<EdgeIndex>(counts[edge.v])
+                             .fetch_add(1, std::memory_order_relaxed);
+      raw_targets[slot_v] = edge.u;
+    }
+  });
+
+  // Pass 3: per-vertex sort + in-place dedup; record unique counts.
+  executor->ParallelFor(num_vertices, kVertexSplit, [&](int, uint64_t b,
+                                                        uint64_t e) {
+    for (uint64_t v = b; v < e; ++v) {
+      Vertex* begin = raw_targets.data() + raw_offsets[v];
+      Vertex* end = raw_targets.data() + raw_offsets[v + 1];
+      std::sort(begin, end);
+      Vertex* unique_end = std::unique(begin, end);
+      counts[v] = static_cast<EdgeIndex>(unique_end - begin);
+    }
+  });
+
+  // Final offsets from unique counts, then parallel compaction.
+  AlignedBuffer<EdgeIndex> offsets(static_cast<size_t>(num_vertices) + 1);
+  EdgeIndex unique_total = 0;
+  for (Vertex v = 0; v < num_vertices; ++v) {
+    offsets[v] = unique_total;
+    unique_total += counts[v];
+  }
+  offsets[num_vertices] = unique_total;
+
+  AlignedBuffer<Vertex> targets(unique_total);
+  executor->ParallelFor(num_vertices, kVertexSplit, [&](int, uint64_t b,
+                                                        uint64_t e) {
+    for (uint64_t v = b; v < e; ++v) {
+      const Vertex* src = raw_targets.data() + raw_offsets[v];
+      std::copy(src, src + counts[v], targets.data() + offsets[v]);
+    }
+  });
+
+  return Graph::FromCsr(num_vertices, std::move(offsets),
+                        std::move(targets));
+}
+
+}  // namespace pbfs

@@ -1,0 +1,30 @@
+// Core graph type aliases. Vertex ids are 32-bit (the paper's memory
+// accounting assumes 32-bit identifiers and 8 bytes per undirected
+// edge); edge counts and CSR offsets are 64-bit so graphs with more than
+// 4 billion edges are representable.
+#ifndef PBFS_GRAPH_TYPES_H_
+#define PBFS_GRAPH_TYPES_H_
+
+#include <cstdint>
+
+namespace pbfs {
+
+using Vertex = uint32_t;
+using EdgeIndex = uint64_t;
+
+inline constexpr Vertex kInvalidVertex = 0xFFFFFFFFu;
+
+// One undirected edge; the builder symmetrizes, so (u,v) and (v,u) are
+// equivalent inputs.
+struct Edge {
+  Vertex u;
+  Vertex v;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.u == b.u && a.v == b.v;
+  }
+};
+
+}  // namespace pbfs
+
+#endif  // PBFS_GRAPH_TYPES_H_

@@ -1,0 +1,44 @@
+// Umbrella header: pulls in the whole public pbfs API.
+//
+// Fine-grained users should include the specific headers (they are all
+// self-contained); this header exists for quick starts and examples.
+#ifndef PBFS_PBFS_H_
+#define PBFS_PBFS_H_
+
+#include "algorithms/betweenness.h"
+#include "algorithms/bfs_components.h"
+#include "algorithms/closeness.h"
+#include "algorithms/eccentricity.h"
+#include "algorithms/khop.h"
+#include "algorithms/landmarks.h"
+#include "algorithms/parents.h"
+#include "bfs/batch.h"
+#include "bfs/beamer.h"
+#include "bfs/common.h"
+#include "bfs/gteps.h"
+#include "bfs/multi_source.h"
+#include "bfs/sequential.h"
+#include "bfs/single_source.h"
+#include "bfs/validate.h"
+#include "graph/components.h"
+#include "graph/degree_stats.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "graph/labeling.h"
+#include "graph/numa_placement.h"
+#include "graph/parallel_build.h"
+#include "graph/types.h"
+#include "platform/topology.h"
+#include "sched/executor.h"
+#include "sched/numa_layout.h"
+#include "sched/task_queues.h"
+#include "sched/worker_pool.h"
+#include "util/bitset.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/timer.h"
+#include "util/version.h"
+
+#endif  // PBFS_PBFS_H_

@@ -1,0 +1,17 @@
+// Parser for Linux sysfs "cpulist" strings ("0-3,8,10-11"), used by the
+// topology detection. Exposed for testing.
+#ifndef PBFS_PLATFORM_CPULIST_H_
+#define PBFS_PLATFORM_CPULIST_H_
+
+#include <string>
+#include <vector>
+
+namespace pbfs {
+
+// Returns the CPU ids encoded by `text`; tolerates whitespace/newlines
+// and ignores malformed fragments.
+std::vector<int> ParseCpuList(const std::string& text);
+
+}  // namespace pbfs
+
+#endif  // PBFS_PLATFORM_CPULIST_H_

@@ -1,0 +1,17 @@
+// Thread-to-CPU pinning. The paper pins each worker thread to a specific
+// core so threads are not migrated during traversals and first-touch
+// NUMA placement stays valid (Section 4.4).
+#ifndef PBFS_PLATFORM_THREAD_PIN_H_
+#define PBFS_PLATFORM_THREAD_PIN_H_
+
+namespace pbfs {
+
+// Pins the calling thread to `cpu`. Returns false if the platform call
+// fails (e.g., the CPU does not exist in the current affinity mask), in
+// which case the thread keeps its previous affinity. Never aborts: on
+// small or containerized machines pinning is best-effort.
+bool PinCurrentThreadToCpu(int cpu);
+
+}  // namespace pbfs
+
+#endif  // PBFS_PLATFORM_THREAD_PIN_H_

@@ -1,0 +1,134 @@
+#include "platform/topology.h"
+
+#include "platform/cpulist.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "util/check.h"
+
+namespace pbfs {
+
+std::vector<int> ParseCpuList(const std::string& text) {
+  std::vector<int> cpus;
+  size_t i = 0;
+  while (i < text.size()) {
+    if (!isdigit(static_cast<unsigned char>(text[i]))) {
+      ++i;
+      continue;
+    }
+    char* end = nullptr;
+    long first = std::strtol(text.c_str() + i, &end, 10);
+    i = static_cast<size_t>(end - text.c_str());
+    long last = first;
+    if (i < text.size() && text[i] == '-') {
+      last = std::strtol(text.c_str() + i + 1, &end, 10);
+      i = static_cast<size_t>(end - text.c_str());
+    }
+    for (long c = first; c <= last; ++c) cpus.push_back(static_cast<int>(c));
+  }
+  return cpus;
+}
+
+namespace {
+
+bool ReadFileToString(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  char buf[4096];
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  *out = buf;
+  return true;
+}
+
+}  // namespace
+
+Topology Topology::Detect() {
+  Topology topo;
+  // Enumerate /sys/devices/system/node/node<i>/cpulist.
+  for (int node = 0;; ++node) {
+    std::string text;
+    std::string path = "/sys/devices/system/node/node" +
+                       std::to_string(node) + "/cpulist";
+    if (!ReadFileToString(path, &text)) break;
+    std::vector<int> cpus = ParseCpuList(text);
+    if (cpus.empty()) continue;
+    topo.node_cpus_.push_back(std::move(cpus));
+  }
+  if (topo.node_cpus_.empty()) {
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    if (hw <= 0) hw = 1;
+    std::vector<int> cpus(hw);
+    for (int i = 0; i < hw; ++i) cpus[i] = i;
+    topo.node_cpus_.push_back(std::move(cpus));
+  }
+  int max_cpu = 0;
+  for (const auto& cpus : topo.node_cpus_) {
+    for (int c : cpus) max_cpu = std::max(max_cpu, c);
+  }
+  topo.cpu_node_.assign(max_cpu + 1, 0);
+  int total = 0;
+  for (int node = 0; node < topo.num_nodes(); ++node) {
+    for (int c : topo.node_cpus_[node]) {
+      topo.cpu_node_[c] = node;
+      ++total;
+    }
+  }
+  topo.num_cpus_ = total;
+  return topo;
+}
+
+Topology Topology::Synthetic(int nodes, int cpus_per_node) {
+  PBFS_CHECK(nodes > 0 && cpus_per_node > 0);
+  Topology topo;
+  int cpu = 0;
+  for (int node = 0; node < nodes; ++node) {
+    std::vector<int> cpus;
+    for (int i = 0; i < cpus_per_node; ++i) cpus.push_back(cpu++);
+    topo.node_cpus_.push_back(std::move(cpus));
+  }
+  topo.cpu_node_.resize(cpu);
+  for (int node = 0; node < nodes; ++node) {
+    for (int c : topo.node_cpus_[node]) topo.cpu_node_[c] = node;
+  }
+  topo.num_cpus_ = cpu;
+  return topo;
+}
+
+const std::vector<int>& Topology::CpusOfNode(int node) const {
+  PBFS_CHECK(node >= 0 && node < num_nodes());
+  return node_cpus_[node];
+}
+
+int Topology::NodeOfCpu(int cpu) const {
+  PBFS_CHECK(cpu >= 0 && cpu < static_cast<int>(cpu_node_.size()));
+  return cpu_node_[cpu];
+}
+
+std::vector<int> Topology::AssignWorkersToCpus(int num_workers) const {
+  PBFS_CHECK(num_workers > 0);
+  // Flatten CPUs node-major so workers fill socket 0 first, matching the
+  // thread-scaling methodology in Section 5.3.1.
+  std::vector<int> flat;
+  for (const auto& cpus : node_cpus_) {
+    flat.insert(flat.end(), cpus.begin(), cpus.end());
+  }
+  std::vector<int> assignment(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    assignment[w] = flat[static_cast<size_t>(w) % flat.size()];
+  }
+  return assignment;
+}
+
+std::vector<int> Topology::AssignWorkersToNodes(int num_workers) const {
+  std::vector<int> cpus = AssignWorkersToCpus(num_workers);
+  std::vector<int> nodes(cpus.size());
+  for (size_t i = 0; i < cpus.size(); ++i) nodes[i] = NodeOfCpu(cpus[i]);
+  return nodes;
+}
+
+}  // namespace pbfs

@@ -1,0 +1,61 @@
+// Machine topology abstraction for the NUMA optimizations of
+// Section 4.4.
+//
+// The worker pool uses a Topology to (a) pin worker threads to CPUs so
+// that first-touch page placement is stable across BFS iterations and
+// (b) map workers to NUMA nodes so that the share of BFS state located
+// in each region is proportional to the share of workers there.
+//
+// `Detect()` reads the Linux sysfs topology; on machines without NUMA
+// information it degrades to a single node spanning all CPUs. Synthetic
+// topologies let unit tests and the one-per-socket batch mode exercise
+// the multi-node code paths on any hardware.
+#ifndef PBFS_PLATFORM_TOPOLOGY_H_
+#define PBFS_PLATFORM_TOPOLOGY_H_
+
+#include <vector>
+
+namespace pbfs {
+
+class Topology {
+ public:
+  // Detects the host topology (NUMA nodes and their CPUs). Never fails;
+  // falls back to one node with hardware_concurrency() CPUs.
+  static Topology Detect();
+
+  // Builds a synthetic topology with `nodes` NUMA nodes of
+  // `cpus_per_node` CPUs each. CPU ids are assigned node-major, matching
+  // the paper's machine where threads 1-15 are socket 0, 16-30 socket 1,
+  // and so on.
+  static Topology Synthetic(int nodes, int cpus_per_node);
+
+  int num_nodes() const { return static_cast<int>(node_cpus_.size()); }
+  int num_cpus() const { return num_cpus_; }
+
+  // CPUs belonging to NUMA node `node`.
+  const std::vector<int>& CpusOfNode(int node) const;
+
+  // NUMA node owning CPU `cpu`.
+  int NodeOfCpu(int cpu) const;
+
+  // Assigns `num_workers` workers to CPUs, filling sockets in order
+  // (worker 0 .. k-1 on node 0's CPUs, then node 1, ...). If there are
+  // more workers than CPUs the assignment wraps around
+  // (oversubscription), which is how thread-scaling experiments run on
+  // small machines.
+  std::vector<int> AssignWorkersToCpus(int num_workers) const;
+
+  // Node of each worker under AssignWorkersToCpus.
+  std::vector<int> AssignWorkersToNodes(int num_workers) const;
+
+ private:
+  Topology() = default;
+
+  std::vector<std::vector<int>> node_cpus_;
+  std::vector<int> cpu_node_;
+  int num_cpus_ = 0;
+};
+
+}  // namespace pbfs
+
+#endif  // PBFS_PLATFORM_TOPOLOGY_H_

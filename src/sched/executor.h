@@ -1,0 +1,70 @@
+// Executor abstraction over the vertex-parallel loops of (S)MS-PBFS.
+//
+// Every BFS kernel is written against this interface, so the same kernel
+// code runs (a) fully parallel on a work-stealing WorkerPool, (b) with
+// static partitioning (for the skew experiments of Figures 6/7), or
+// (c) inline on the calling thread. The inline SerialExecutor is what
+// makes the paper's "MS-PBFS (sequential)" variant possible: one
+// independent single-threaded MS-PBFS instance per core, exactly like
+// MS-BFS is deployed, but with the MS-PBFS kernel optimizations.
+#ifndef PBFS_SCHED_EXECUTOR_H_
+#define PBFS_SCHED_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace pbfs {
+
+// Loop body: process vertices [begin, end) as worker `worker_id`.
+using RangeBody = std::function<void(int worker_id, uint64_t begin,
+                                     uint64_t end)>;
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  virtual int num_workers() const = 0;
+
+  // Runs `body` over [0, total), split into tasks of `split_size`
+  // vertices. Returns only after every task has finished (barrier).
+  virtual void ParallelFor(uint64_t total, uint32_t split_size,
+                           const RangeBody& body) = 0;
+
+  // NUMA node of each worker (index 0..num_workers-1); node 0 for
+  // executors without placement information.
+  virtual int NodeOfWorker(int worker_id) const {
+    (void)worker_id;
+    return 0;
+  }
+
+  // Like ParallelFor, but with work stealing disabled so that every task
+  // is executed by its originally assigned worker. Used for first-touch
+  // initialization of BFS state (Section 4.4): pages end up on the NUMA
+  // node of the worker that owns the task range in later iterations.
+  // Defaults to ParallelFor for executors without stealing.
+  virtual void FirstTouchFor(uint64_t total, uint32_t split_size,
+                             const RangeBody& body) {
+    ParallelFor(total, split_size, body);
+  }
+};
+
+// Runs everything inline on the calling thread as worker 0, honoring the
+// task granularity (so chunk-skip logic sees the same ranges as in
+// parallel runs).
+class SerialExecutor : public Executor {
+ public:
+  int num_workers() const override { return 1; }
+
+  void ParallelFor(uint64_t total, uint32_t split_size,
+                   const RangeBody& body) override {
+    for (uint64_t begin = 0; begin < total; begin += split_size) {
+      uint64_t end = begin + split_size;
+      if (end > total) end = total;
+      body(0, begin, end);
+    }
+  }
+};
+
+}  // namespace pbfs
+
+#endif  // PBFS_SCHED_EXECUTOR_H_

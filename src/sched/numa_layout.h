@@ -1,0 +1,71 @@
+// NUMA placement helpers — Section 4.4 of the paper.
+//
+// The BFS state arrays (seen / frontier / next) are page-aligned and
+// initialized exactly once by their owning workers (first touch), so the
+// OS places each page in the NUMA region of the worker whose task range
+// it backs. Two pieces make that deterministic:
+//
+// * A split size aligned such that task-range borders coincide with page
+//   borders: split_size must be a multiple of pageSize / bytesPerVertex
+//   (e.g., 512 vertices for 64-bit bitsets on 4 KiB pages).
+// * An initialization loop where stealing is disabled: every task is
+//   touched by the worker it is dealt to (task t belongs to worker
+//   t mod W, matching TaskQueues round-robin distribution), so in later
+//   traversal iterations workers mostly write pages they own.
+#ifndef PBFS_SCHED_NUMA_LAYOUT_H_
+#define PBFS_SCHED_NUMA_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/worker_pool.h"
+#include "util/aligned_buffer.h"
+#include "util/check.h"
+
+namespace pbfs {
+
+// Rounds `desired` up to the smallest multiple of the per-page vertex
+// count (pageSize / state_bytes_per_vertex) that is >= desired, so task
+// borders fall on page borders. When more than a page of state backs a
+// single vertex this returns `desired` unchanged (every border is then
+// page-aligned anyway).
+inline uint32_t PageAlignedSplitSize(uint32_t desired,
+                                     uint64_t state_bytes_per_vertex) {
+  PBFS_CHECK(desired > 0);
+  PBFS_CHECK(state_bytes_per_vertex > 0);
+  uint64_t per_page = kPageSize / state_bytes_per_vertex;
+  if (per_page <= 1) return desired;
+  uint64_t aligned = (desired + per_page - 1) / per_page * per_page;
+  return static_cast<uint32_t>(aligned);
+}
+
+// Worker owning task `task` under round-robin dealing.
+inline int OwnerOfTask(uint64_t task, int num_workers) {
+  return static_cast<int>(task % static_cast<uint64_t>(num_workers));
+}
+
+// Runs `body(worker, begin, end)` for every task of the loop shape, with
+// each task executed by its owning worker and no stealing. Use for
+// first-touch initialization of BFS state and graph storage. (Alias of
+// WorkerPool::FirstTouchFor, kept as a free function for call sites that
+// only have the pool.)
+inline void DeterministicFirstTouch(WorkerPool* pool, uint64_t total,
+                                    uint32_t split_size,
+                                    const RangeBody& body) {
+  pool->FirstTouchFor(total, split_size, body);
+}
+
+// Fraction of state bytes that land in each NUMA node under the layout
+// above; the paper guarantees this is proportional to the node's share
+// of workers. Exposed for tests and the Figure 3 memory model.
+inline std::vector<double> NodeMemoryShares(const WorkerPool& pool) {
+  std::vector<double> share(pool.num_nodes(), 0.0);
+  for (int w = 0; w < pool.num_workers(); ++w) {
+    share[pool.NodeOfWorker(w)] += 1.0 / pool.num_workers();
+  }
+  return share;
+}
+
+}  // namespace pbfs
+
+#endif  // PBFS_SCHED_NUMA_LAYOUT_H_

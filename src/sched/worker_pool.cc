@@ -1,0 +1,152 @@
+#include "sched/worker_pool.h"
+
+#include <optional>
+
+#include "platform/thread_pin.h"
+#include "util/check.h"
+
+namespace pbfs {
+
+WorkerPool::WorkerPool(const Options& options)
+    : num_workers_(options.num_workers), queues_(options.num_workers) {
+  PBFS_CHECK(num_workers_ > 0);
+  std::optional<Topology> detected;
+  const Topology* topo = options.topology;
+  if (topo == nullptr) {
+    detected.emplace(Topology::Detect());
+    topo = &*detected;
+  }
+  num_nodes_ = topo->num_nodes();
+  std::vector<int> cpus;
+  if (!options.cpus.empty()) {
+    PBFS_CHECK(static_cast<int>(options.cpus.size()) >= num_workers_);
+    cpus.assign(options.cpus.begin(), options.cpus.begin() + num_workers_);
+    worker_nodes_.resize(num_workers_);
+    for (int w = 0; w < num_workers_; ++w) {
+      worker_nodes_[w] = topo->NodeOfCpu(cpus[w]);
+    }
+  } else {
+    worker_nodes_ = topo->AssignWorkersToNodes(num_workers_);
+    cpus = topo->AssignWorkersToCpus(num_workers_);
+  }
+
+  threads_.reserve(num_workers_);
+  for (int w = 0; w < num_workers_; ++w) {
+    int cpu = options.pin_threads ? cpus[w] : -1;
+    threads_.emplace_back([this, w, cpu] { WorkerMain(w, cpu); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::WorkerMain(int worker_id, int cpu) {
+  if (cpu >= 0) PinCurrentThreadToCpu(cpu);
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock,
+                     [&] { return stopping_ || epoch_ != seen_epoch; });
+      if (stopping_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    (*job)(worker_id);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void WorkerPool::Dispatch(const std::function<void(int)>& job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    active_ = num_workers_;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerPool::ParallelFor(uint64_t total, uint32_t split_size,
+                             const RangeBody& body) {
+  if (total == 0) return;
+  queues_.Reset(total, split_size);
+  std::function<void(int)> job = [this, &body](int worker_id) {
+    int steal_cursor = 0;
+    uint64_t local = 0;
+    uint64_t stolen = 0;
+    for (;;) {
+      TaskRange range = queues_.Fetch(worker_id, &steal_cursor);
+      if (range.empty()) break;
+      // steal_cursor stays 0 while fetching from the worker's own queue.
+      if (steal_cursor == 0) {
+        ++local;
+      } else {
+        ++stolen;
+      }
+      body(worker_id, range.begin, range.end);
+    }
+    if (local != 0) local_tasks_.fetch_add(local, std::memory_order_relaxed);
+    if (stolen != 0) {
+      stolen_tasks_.fetch_add(stolen, std::memory_order_relaxed);
+    }
+  };
+  Dispatch(job);
+}
+
+void WorkerPool::ParallelForStatic(uint64_t total, const RangeBody& body) {
+  if (total == 0) return;
+  std::function<void(int)> job = [this, total, &body](int worker_id) {
+    uint64_t w = static_cast<uint64_t>(worker_id);
+    uint64_t workers = static_cast<uint64_t>(num_workers_);
+    // Partition borders are rounded to multiples of 64 so kernels whose
+    // state is bit-packed into 64-bit words never share a word across
+    // workers.
+    auto border = [total, workers](uint64_t k) -> uint64_t {
+      if (k >= workers) return total;
+      return total * k / workers / 64 * 64;
+    };
+    uint64_t begin = border(w);
+    uint64_t end = border(w + 1);
+    if (begin < end) body(worker_id, begin, end);
+  };
+  Dispatch(job);
+}
+
+void WorkerPool::FirstTouchFor(uint64_t total, uint32_t split_size,
+                               const RangeBody& body) {
+  if (total == 0) return;
+  PBFS_CHECK(split_size > 0);
+  const uint64_t workers = static_cast<uint64_t>(num_workers_);
+  const uint64_t num_tasks = (total + split_size - 1) / split_size;
+  std::function<void(int)> job = [&](int worker_id) {
+    for (uint64_t task = static_cast<uint64_t>(worker_id); task < num_tasks;
+         task += workers) {
+      uint64_t begin = task * split_size;
+      uint64_t end = begin + split_size;
+      if (end > total) end = total;
+      body(worker_id, begin, end);
+    }
+  };
+  Dispatch(job);
+}
+
+void WorkerPool::RunOnWorkers(const std::function<void(int)>& fn) {
+  Dispatch(fn);
+}
+
+}  // namespace pbfs

@@ -1,0 +1,105 @@
+// Page-aligned typed buffers for BFS state arrays.
+//
+// The NUMA placement scheme in Section 4.4 of the paper interleaves the
+// memory pages backing `seen`, `frontier`, and `next` across NUMA nodes
+// at exactly the task-range borders. That only works when the arrays
+// start on a page boundary, so all BFS state lives in AlignedBuffers.
+// The buffer deliberately does not value-initialize its contents: the
+// owning worker performs the first touch (see NumaLayout) so that pages
+// are placed in the worker's NUMA region.
+#ifndef PBFS_UTIL_ALIGNED_BUFFER_H_
+#define PBFS_UTIL_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "util/check.h"
+
+namespace pbfs {
+
+inline constexpr size_t kPageSize = 4096;
+inline constexpr size_t kCacheLineSize = 64;
+
+// A move-only, page-aligned array of trivially-destructible T.
+// Contents are uninitialized after construction and after Reset().
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(size_t count, size_t alignment = kPageSize) {
+    Reset(count, alignment);
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  ~AlignedBuffer() { Free(); }
+
+  // Releases the current allocation and allocates `count` elements,
+  // leaving them uninitialized.
+  void Reset(size_t count, size_t alignment = kPageSize) {
+    Free();
+    size_ = count;
+    if (count == 0) return;
+    size_t bytes = count * sizeof(T);
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    bytes = (bytes + alignment - 1) / alignment * alignment;
+    data_ = static_cast<T*>(std::aligned_alloc(alignment, bytes));
+    PBFS_CHECK(data_ != nullptr);
+  }
+
+  void FillZero() {
+    if (size_ != 0) std::memset(data_, 0, size_ * sizeof(T));
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t size_bytes() const { return size_ * sizeof(T); }
+
+  T& operator[](size_t i) {
+    PBFS_DCHECK(i < size_);
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    PBFS_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  void Free() {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace pbfs
+
+#endif  // PBFS_UTIL_ALIGNED_BUFFER_H_

@@ -1,0 +1,48 @@
+// Lightweight assertion and logging macros.
+//
+// The library is exception-free (constructors cannot fail); invariant
+// violations are programming errors and abort the process with a message.
+// PBFS_CHECK is always on; PBFS_DCHECK compiles away in NDEBUG builds.
+#ifndef PBFS_UTIL_CHECK_H_
+#define PBFS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pbfs {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "PBFS_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace pbfs
+
+#define PBFS_CHECK(expr)                                      \
+  do {                                                        \
+    if (!(expr)) {                                            \
+      ::pbfs::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                         \
+  } while (false)
+
+#define PBFS_CHECK_OP(a, op, b) PBFS_CHECK((a)op(b))
+#define PBFS_CHECK_EQ(a, b) PBFS_CHECK_OP(a, ==, b)
+#define PBFS_CHECK_NE(a, b) PBFS_CHECK_OP(a, !=, b)
+#define PBFS_CHECK_LT(a, b) PBFS_CHECK_OP(a, <, b)
+#define PBFS_CHECK_LE(a, b) PBFS_CHECK_OP(a, <=, b)
+#define PBFS_CHECK_GT(a, b) PBFS_CHECK_OP(a, >, b)
+#define PBFS_CHECK_GE(a, b) PBFS_CHECK_OP(a, >=, b)
+
+#ifdef NDEBUG
+#define PBFS_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define PBFS_DCHECK(expr) PBFS_CHECK(expr)
+#endif
+
+#endif  // PBFS_UTIL_CHECK_H_

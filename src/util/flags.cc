@@ -1,0 +1,125 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pbfs {
+namespace {
+
+std::string ReprOf(int64_t v) { return std::to_string(v); }
+std::string ReprOf(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+std::string ReprOf(bool v) { return v ? "true" : "false"; }
+
+}  // namespace
+
+FlagParser::FlagParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void FlagParser::AddInt64(const std::string& name, int64_t* value,
+                          const std::string& help) {
+  flags_.push_back({name, Kind::kInt64, value, help, ReprOf(*value)});
+}
+
+void FlagParser::AddDouble(const std::string& name, double* value,
+                           const std::string& help) {
+  flags_.push_back({name, Kind::kDouble, value, help, ReprOf(*value)});
+}
+
+void FlagParser::AddBool(const std::string& name, bool* value,
+                         const std::string& help) {
+  flags_.push_back({name, Kind::kBool, value, help, ReprOf(*value)});
+}
+
+void FlagParser::AddString(const std::string& name, std::string* value,
+                           const std::string& help) {
+  flags_.push_back({name, Kind::kString, value, help, *value});
+}
+
+const FlagParser::Flag* FlagParser::Find(const std::string& name) const {
+  for (const Flag& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+void FlagParser::PrintUsageAndExit(int code) const {
+  std::fprintf(stderr, "%s\n\nUsage: %s [flags]\n", description_.c_str(),
+               program_name_.c_str());
+  for (const Flag& f : flags_) {
+    std::fprintf(stderr, "  --%s (default %s)\n      %s\n", f.name.c_str(),
+                 f.default_repr.c_str(), f.help.c_str());
+  }
+  std::exit(code);
+}
+
+void FlagParser::Parse(int argc, char** argv) {
+  program_name_ = argc > 0 ? argv[0] : "pbfs";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") PrintUsageAndExit(0);
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      PrintUsageAndExit(1);
+    }
+    std::string body = arg.substr(2);
+    std::string name = body;
+    std::string value;
+    bool have_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      have_value = true;
+    }
+    const Flag* flag = Find(name);
+    // Support `--noflag` for booleans.
+    bool negated = false;
+    if (flag == nullptr && name.rfind("no", 0) == 0) {
+      const Flag* candidate = Find(name.substr(2));
+      if (candidate != nullptr && candidate->kind == Kind::kBool) {
+        flag = candidate;
+        negated = true;
+      }
+    }
+    if (flag == nullptr) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      PrintUsageAndExit(1);
+    }
+    if (!have_value && flag->kind != Kind::kBool) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s expects a value\n", name.c_str());
+        PrintUsageAndExit(1);
+      }
+      value = argv[++i];
+      have_value = true;
+    }
+    switch (flag->kind) {
+      case Kind::kInt64:
+        *static_cast<int64_t*>(flag->target) =
+            std::strtoll(value.c_str(), nullptr, 0);
+        break;
+      case Kind::kDouble:
+        *static_cast<double*>(flag->target) =
+            std::strtod(value.c_str(), nullptr);
+        break;
+      case Kind::kBool: {
+        bool parsed = true;
+        if (have_value) {
+          parsed = !(value == "false" || value == "0" || value == "no");
+        }
+        *static_cast<bool*>(flag->target) = negated ? !parsed : parsed;
+        break;
+      }
+      case Kind::kString:
+        *static_cast<std::string*>(flag->target) = value;
+        break;
+    }
+  }
+}
+
+}  // namespace pbfs

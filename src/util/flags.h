@@ -1,0 +1,51 @@
+// Minimal command-line flag parsing for the benchmark and example
+// binaries. Flags are `--name=value` or `--name value`; `--help` prints
+// registered flags. Not thread-safe; parse once at startup.
+#ifndef PBFS_UTIL_FLAGS_H_
+#define PBFS_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pbfs {
+
+// Parses flags registered through the Add* calls. Unknown flags abort
+// with a usage message, so typos in experiment scripts fail loudly.
+class FlagParser {
+ public:
+  FlagParser(std::string program_description);
+
+  void AddInt64(const std::string& name, int64_t* value,
+                const std::string& help);
+  void AddDouble(const std::string& name, double* value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* value, const std::string& help);
+  void AddString(const std::string& name, std::string* value,
+                 const std::string& help);
+
+  // Parses argv. On `--help`, prints usage and exits(0). On error prints
+  // usage and exits(1).
+  void Parse(int argc, char** argv);
+
+ private:
+  enum class Kind { kInt64, kDouble, kBool, kString };
+  struct Flag {
+    std::string name;
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  const Flag* Find(const std::string& name) const;
+  void PrintUsageAndExit(int code) const;
+
+  std::string description_;
+  std::string program_name_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace pbfs
+
+#endif  // PBFS_UTIL_FLAGS_H_

@@ -1,0 +1,65 @@
+// Small descriptive-statistics helpers used when reporting benchmark
+// series (median-of-trials, skew ratios, degree distributions).
+#ifndef PBFS_UTIL_STATS_H_
+#define PBFS_UTIL_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pbfs {
+
+// Summary of a sample of doubles.
+struct SampleSummary {
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double median = 0;
+  double stddev = 0;
+};
+
+inline SampleSummary Summarize(std::vector<double> values) {
+  PBFS_CHECK(!values.empty());
+  SampleSummary s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  size_t n = values.size();
+  s.median = (n % 2 == 1) ? values[n / 2]
+                          : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+  double sum = 0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(n);
+  double var = 0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = n > 1 ? std::sqrt(var / static_cast<double>(n - 1)) : 0.0;
+  return s;
+}
+
+// Ratio of the largest to the smallest positive element; the paper's
+// per-iteration worker skew metric (Figure 9). Returns 1.0 when no
+// element is positive.
+inline double SkewRatio(const std::vector<double>& values) {
+  double lo = 0;
+  double hi = 0;
+  bool any = false;
+  for (double v : values) {
+    if (v <= 0) continue;
+    if (!any) {
+      lo = hi = v;
+      any = true;
+    } else {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!any || lo == 0) return 1.0;
+  return hi / lo;
+}
+
+}  // namespace pbfs
+
+#endif  // PBFS_UTIL_STATS_H_

@@ -1,0 +1,39 @@
+// Wall-clock timing helpers for benchmarks and per-worker skew
+// instrumentation.
+#ifndef PBFS_UTIL_TIMER_H_
+#define PBFS_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace pbfs {
+
+// Monotonic nanosecond timestamp.
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Measures elapsed wall time from construction or the last Restart().
+class Timer {
+ public:
+  Timer() : start_(NowNanos()) {}
+
+  void Restart() { start_ = NowNanos(); }
+
+  int64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace pbfs
+
+#endif  // PBFS_UTIL_TIMER_H_

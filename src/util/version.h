@@ -1,0 +1,15 @@
+// Library version. Bump per release; the README's compatibility notes
+// key off the major version.
+#ifndef PBFS_UTIL_VERSION_H_
+#define PBFS_UTIL_VERSION_H_
+
+namespace pbfs {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char kVersionString[] = "1.0.0";
+
+}  // namespace pbfs
+
+#endif  // PBFS_UTIL_VERSION_H_

@@ -1,0 +1,392 @@
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/betweenness.h"
+#include "algorithms/bfs_components.h"
+#include "algorithms/closeness.h"
+#include "algorithms/eccentricity.h"
+#include "algorithms/khop.h"
+#include "algorithms/parents.h"
+#include "bfs/sequential.h"
+#include "graph/generators.h"
+#include "sched/worker_pool.h"
+#include "test_util.h"
+
+namespace pbfs {
+namespace {
+
+// ---------------------------------------------------------------------
+// Closeness centrality.
+// ---------------------------------------------------------------------
+
+TEST(ClosenessTest, ExactOnPath) {
+  // Path 0-1-2-3-4: farness of middle = 1+2+1+2 = 6, of ends = 10.
+  Graph g = Path(5);
+  SerialExecutor serial;
+  ClosenessResult r = ComputeCloseness(g, &serial, {});
+  EXPECT_EQ(r.sources_used, 5u);
+  EXPECT_DOUBLE_EQ(r.score[2], 4.0 / 6.0);
+  EXPECT_DOUBLE_EQ(r.score[0], 4.0 / 10.0);
+  EXPECT_DOUBLE_EQ(r.score[4], r.score[0]);
+  EXPECT_GT(r.score[2], r.score[1]);
+  EXPECT_GT(r.score[1], r.score[0]);
+}
+
+TEST(ClosenessTest, StarCenterIsMostCentral) {
+  Graph g = Star(32);
+  WorkerPool pool({.num_workers = 2, .pin_threads = false});
+  ClosenessResult r = ComputeCloseness(g, &pool, {});
+  std::vector<Vertex> top = TopKByScore(r.score, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 0u);
+  // Center: farness 31; leaves: 1 + 2*30 = 61.
+  EXPECT_DOUBLE_EQ(r.score[0], 31.0 / 31.0);
+  EXPECT_DOUBLE_EQ(r.score[1], 31.0 / 61.0);
+}
+
+TEST(ClosenessTest, IsolatedVerticesScoreZero) {
+  Graph g = Graph::FromEdges(5, std::vector<Edge>{{0, 1}});
+  SerialExecutor serial;
+  ClosenessResult r = ComputeCloseness(g, &serial, {});
+  EXPECT_GT(r.score[0], 0.0);
+  EXPECT_EQ(r.score[2], 0.0);
+  EXPECT_EQ(r.score[4], 0.0);
+}
+
+TEST(ClosenessTest, WideBatchesMatchNarrow) {
+  Graph g = SocialNetwork({.num_vertices = 300, .avg_degree = 6.0,
+                           .seed = 3});
+  SerialExecutor serial;
+  ClosenessOptions narrow;
+  narrow.width = 64;
+  ClosenessOptions wide;
+  wide.width = 256;
+  ClosenessResult a = ComputeCloseness(g, &serial, narrow);
+  ClosenessResult b = ComputeCloseness(g, &serial, wide);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(a.score[v], b.score[v]) << v;
+  }
+}
+
+TEST(ClosenessTest, SampledModeRanksHubsHighly) {
+  Graph g = SocialNetwork({.num_vertices = 2048, .avg_degree = 12.0,
+                           .seed = 5});
+  WorkerPool pool({.num_workers = 2, .pin_threads = false});
+  ClosenessOptions options;
+  options.sample_sources = 256;
+  ClosenessResult sampled = ComputeCloseness(g, &pool, options);
+  EXPECT_EQ(sampled.sources_used, 256u);
+  ClosenessResult exact = ComputeCloseness(g, &pool, {});
+  // The top-10 exact vertices should mostly appear in the sampled
+  // top-50.
+  std::vector<Vertex> top_exact = TopKByScore(exact.score, 10);
+  std::vector<Vertex> top_sampled = TopKByScore(sampled.score, 50);
+  int found = 0;
+  for (Vertex v : top_exact) {
+    if (std::find(top_sampled.begin(), top_sampled.end(), v) !=
+        top_sampled.end()) {
+      ++found;
+    }
+  }
+  EXPECT_GE(found, 5);
+}
+
+TEST(TopKByScoreTest, OrdersAndTruncates) {
+  std::vector<double> scores = {0.1, 0.9, 0.5, 0.9, 0.0};
+  std::vector<Vertex> top = TopKByScore(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);  // ties broken by index
+  EXPECT_EQ(top[1], 3u);
+  EXPECT_EQ(top[2], 2u);
+  EXPECT_TRUE(TopKByScore(scores, 0).empty());
+  EXPECT_EQ(TopKByScore(scores, 100).size(), 5u);
+}
+
+TEST(HarmonicTest, PathValues) {
+  // Path 0-1-2: harmonic(1) = 1/1 + 1/1 = 2; harmonic(0) = 1 + 1/2.
+  Graph g = Path(3);
+  SerialExecutor serial;
+  ClosenessResult r = ComputeCloseness(g, &serial, {});
+  EXPECT_DOUBLE_EQ(r.harmonic[1], 2.0);
+  EXPECT_DOUBLE_EQ(r.harmonic[0], 1.5);
+  EXPECT_DOUBLE_EQ(r.harmonic[2], 1.5);
+}
+
+TEST(HarmonicTest, DefinedOnDisconnectedGraphs) {
+  Graph g = Graph::FromEdges(4, std::vector<Edge>{{0, 1}, {2, 3}});
+  SerialExecutor serial;
+  ClosenessResult r = ComputeCloseness(g, &serial, {});
+  for (Vertex v = 0; v < 4; ++v) EXPECT_DOUBLE_EQ(r.harmonic[v], 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Betweenness centrality.
+// ---------------------------------------------------------------------
+
+TEST(BetweennessTest, PathCenterDominates) {
+  // Path 0-1-2-3-4: scores are 0, 3, 4, 3, 0.
+  Graph g = Path(5);
+  SerialExecutor serial;
+  BetweennessResult r = ComputeBetweenness(g, &serial, {});
+  EXPECT_DOUBLE_EQ(r.score[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.score[1], 3.0);
+  EXPECT_DOUBLE_EQ(r.score[2], 4.0);
+  EXPECT_DOUBLE_EQ(r.score[3], 3.0);
+  EXPECT_DOUBLE_EQ(r.score[4], 0.0);
+}
+
+TEST(BetweennessTest, StarCenterCarriesAllPairs) {
+  // Star with k leaves: center lies on all C(k,2) leaf pairs.
+  Graph g = Star(9);  // 8 leaves
+  SerialExecutor serial;
+  BetweennessResult r = ComputeBetweenness(g, &serial, {});
+  EXPECT_DOUBLE_EQ(r.score[0], 28.0);  // C(8,2)
+  for (Vertex v = 1; v < 9; ++v) EXPECT_DOUBLE_EQ(r.score[v], 0.0);
+}
+
+TEST(BetweennessTest, CycleSplitsPathsEvenly) {
+  // Even cycle: by symmetry all vertices have equal betweenness.
+  Graph g = Cycle(8);
+  SerialExecutor serial;
+  BetweennessResult r = ComputeBetweenness(g, &serial, {});
+  for (Vertex v = 1; v < 8; ++v) {
+    EXPECT_NEAR(r.score[v], r.score[0], 1e-9);
+  }
+  EXPECT_GT(r.score[0], 0.0);
+}
+
+TEST(BetweennessTest, ParallelMatchesSerial) {
+  Graph g = SocialNetwork({.num_vertices = 512, .avg_degree = 8.0,
+                           .seed = 21});
+  SerialExecutor serial;
+  WorkerPool pool({.num_workers = 4, .pin_threads = false});
+  BetweennessResult a = ComputeBetweenness(g, &serial, {});
+  BetweennessResult b = ComputeBetweenness(g, &pool, {});
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(a.score[v], b.score[v], 1e-6) << v;
+  }
+}
+
+TEST(BetweennessTest, SampledEstimatesCorrelate) {
+  Graph g = SocialNetwork({.num_vertices = 1024, .avg_degree = 10.0,
+                           .seed = 33});
+  WorkerPool pool({.num_workers = 2, .pin_threads = false});
+  BetweennessResult exact = ComputeBetweenness(g, &pool, {});
+  BetweennessOptions sampled_options;
+  sampled_options.sample_sources = 256;
+  BetweennessResult sampled = ComputeBetweenness(g, &pool, sampled_options);
+  EXPECT_EQ(sampled.sources_used, 256u);
+  // The exact top vertex should rank inside the sampled top-20.
+  std::vector<Vertex> top_exact = TopKByScore(exact.score, 1);
+  std::vector<Vertex> top_sampled = TopKByScore(sampled.score, 20);
+  EXPECT_NE(std::find(top_sampled.begin(), top_sampled.end(), top_exact[0]),
+            top_sampled.end());
+}
+
+// ---------------------------------------------------------------------
+// Parents.
+// ---------------------------------------------------------------------
+
+TEST(ParentsTest, DeriveAndValidateOnVariousGraphs) {
+  Graph graphs[] = {Path(40), Grid(9, 7), Star(17), BinaryTree(63),
+                    Kronecker({.scale = 9, .edge_factor = 8, .seed = 2})};
+  SerialExecutor serial;
+  for (const Graph& g : graphs) {
+    std::vector<Level> levels = testing_util::ReferenceLevels(g, 0);
+    std::vector<Vertex> parents = DeriveParents(g, 0, levels.data());
+    std::string error;
+    EXPECT_TRUE(ValidateParents(g, 0, parents, levels.data(), &error))
+        << error;
+    std::vector<Vertex> parallel =
+        DeriveParentsParallel(g, 0, levels.data(), &serial);
+    EXPECT_TRUE(ValidateParents(g, 0, parallel, levels.data(), &error))
+        << error;
+  }
+}
+
+TEST(ParentsTest, SourceIsOwnParent) {
+  Graph g = Cycle(10);
+  std::vector<Level> levels = testing_util::ReferenceLevels(g, 3);
+  std::vector<Vertex> parents = DeriveParents(g, 3, levels.data());
+  EXPECT_EQ(parents[3], 3u);
+}
+
+TEST(ParentsTest, UnreachedHaveNoParent) {
+  Graph g = Graph::FromEdges(4, std::vector<Edge>{{0, 1}});
+  std::vector<Level> levels = testing_util::ReferenceLevels(g, 0);
+  std::vector<Vertex> parents = DeriveParents(g, 0, levels.data());
+  EXPECT_EQ(parents[2], kInvalidVertex);
+  EXPECT_EQ(parents[3], kInvalidVertex);
+  std::string error;
+  EXPECT_TRUE(ValidateParents(g, 0, parents, levels.data(), &error)) << error;
+}
+
+TEST(ParentsTest, ValidationCatchesNonNeighborParent) {
+  Graph g = Path(5);
+  std::vector<Level> levels = testing_util::ReferenceLevels(g, 0);
+  std::vector<Vertex> parents = DeriveParents(g, 0, levels.data());
+  parents[4] = 0;  // not adjacent to 4
+  EXPECT_FALSE(ValidateParents(g, 0, parents, levels.data(), nullptr));
+}
+
+TEST(ParentsTest, ValidationCatchesCycle) {
+  Graph g = Cycle(6);
+  std::vector<Level> levels = testing_util::ReferenceLevels(g, 0);
+  std::vector<Vertex> parents = DeriveParents(g, 0, levels.data());
+  // 2 -> 3 -> 2 cycle (both adjacent in the cycle graph).
+  parents[2] = 3;
+  parents[3] = 2;
+  EXPECT_FALSE(ValidateParents(g, 0, parents, nullptr, nullptr));
+}
+
+TEST(ParentsTest, ValidationCatchesWrongLevelEdge) {
+  Graph g = Cycle(8);
+  std::vector<Level> levels = testing_util::ReferenceLevels(g, 0);
+  std::vector<Vertex> parents = DeriveParents(g, 0, levels.data());
+  // Vertex 3 (level 3) reparented to 4 (level 4): valid tree edge shape
+  // but wrong direction w.r.t. levels.
+  parents[3] = 4;
+  EXPECT_FALSE(ValidateParents(g, 0, parents, levels.data(), nullptr));
+}
+
+TEST(ParentsTest, ValidationCatchesWrongSourceParent) {
+  Graph g = Path(3);
+  std::vector<Level> levels = testing_util::ReferenceLevels(g, 0);
+  std::vector<Vertex> parents = DeriveParents(g, 0, levels.data());
+  parents[0] = 1;
+  EXPECT_FALSE(ValidateParents(g, 0, parents, levels.data(), nullptr));
+}
+
+// ---------------------------------------------------------------------
+// Eccentricity / diameter.
+// ---------------------------------------------------------------------
+
+TEST(EccentricityTest, ExactOnPath) {
+  Graph g = Path(7);  // eccentricities: 6 5 4 3 4 5 6
+  SerialExecutor serial;
+  std::vector<Level> ecc = ExactEccentricities(g, &serial);
+  EXPECT_EQ(ecc, (std::vector<Level>{6, 5, 4, 3, 4, 5, 6}));
+}
+
+TEST(EccentricityTest, ExactOnCycleAndStar) {
+  SerialExecutor serial;
+  std::vector<Level> cycle_ecc = ExactEccentricities(Cycle(10), &serial);
+  for (Level e : cycle_ecc) EXPECT_EQ(e, 5);
+  std::vector<Level> star_ecc = ExactEccentricities(Star(9), &serial);
+  EXPECT_EQ(star_ecc[0], 1);
+  for (Vertex v = 1; v < 9; ++v) EXPECT_EQ(star_ecc[v], 2);
+}
+
+TEST(EccentricityTest, IsolatedVertexUnreached) {
+  Graph g = Graph::FromEdges(3, std::vector<Edge>{{0, 1}});
+  SerialExecutor serial;
+  std::vector<Level> ecc = ExactEccentricities(g, &serial);
+  EXPECT_EQ(ecc[0], 1);
+  EXPECT_EQ(ecc[2], kLevelUnreached);
+}
+
+TEST(DiameterTest, DoubleSweepExactOnTreesAndPaths) {
+  SerialExecutor serial;
+  DiameterEstimate path = EstimateDiameter(Path(50), 25, &serial);
+  EXPECT_EQ(path.lower_bound, 49);
+  DiameterEstimate tree = EstimateDiameter(BinaryTree(127), 0, &serial);
+  EXPECT_EQ(tree.lower_bound, 12);  // leaf-to-leaf through the root
+}
+
+TEST(DiameterTest, LowerBoundNeverExceedsTrueDiameter) {
+  SerialExecutor serial;
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Graph g = ErdosRenyi(300, 900, seed);
+    std::vector<Level> ecc = ExactEccentricities(g, &serial);
+    Level diameter = 0;
+    for (Level e : ecc) {
+      if (e != kLevelUnreached) diameter = std::max(diameter, e);
+    }
+    DiameterEstimate est = EstimateDiameter(g, PickSources(g, 1, seed)[0],
+                                            &serial, 6);
+    EXPECT_LE(est.lower_bound, diameter) << "seed " << seed;
+    EXPECT_GE(est.lower_bound, (diameter + 1) / 2) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------
+// k-hop neighborhoods.
+// ---------------------------------------------------------------------
+
+TEST(KHopTest, GridNeighborhoodSizes) {
+  // Interior vertex of a large grid: |N_1|=4, |N_2|=12, |N_3|=24
+  // (cumulative: 4, 12+4=... manhattan ball sizes 2k(k+1)).
+  Graph g = Grid(21, 21);
+  Vertex center = 10 * 21 + 10;
+  SerialExecutor serial;
+  std::vector<Vertex> queries = {center};
+  KHopResult r = KHopNeighborhoods(g, queries, 3, &serial);
+  ASSERT_EQ(r.size.size(), 1u);
+  EXPECT_EQ(r.size[0][0], 0u);
+  EXPECT_EQ(r.size[0][1], 4u);
+  EXPECT_EQ(r.size[0][2], 12u);
+  EXPECT_EQ(r.size[0][3], 24u);
+}
+
+TEST(KHopTest, MatchesReferenceLevels) {
+  Graph g = SocialNetwork({.num_vertices = 1024, .avg_degree = 8.0,
+                           .seed = 9});
+  WorkerPool pool({.num_workers = 2, .pin_threads = false});
+  std::vector<Vertex> queries = PickSources(g, 100, 3);  // > one batch
+  KHopResult r = KHopNeighborhoods(g, queries, 4, &pool);
+  ASSERT_EQ(r.size.size(), queries.size());
+  for (size_t q = 0; q < queries.size(); q += 17) {
+    std::vector<Level> ref = testing_util::ReferenceLevels(g, queries[q]);
+    for (Level h = 1; h <= 4; ++h) {
+      uint64_t expected = 0;
+      for (Level l : ref) {
+        if (l != kLevelUnreached && l >= 1 && l <= h) ++expected;
+      }
+      EXPECT_EQ(r.size[q][h], expected) << "query " << q << " hop " << h;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// BFS-based connected components.
+// ---------------------------------------------------------------------
+
+TEST(BfsComponentsTest, MatchesUnionFind) {
+  SerialExecutor serial;
+  Graph graphs[] = {Graph::FromEdges(9, std::vector<Edge>{{0, 1},
+                                                          {1, 2},
+                                                          {3, 4},
+                                                          {5, 6},
+                                                          {6, 7}}),
+                    Kronecker({.scale = 10, .edge_factor = 4, .seed = 7}),
+                    ErdosRenyi(512, 300, 5)};
+  for (const Graph& g : graphs) {
+    ComponentInfo by_bfs = ComputeComponentsByBfs(g, &serial);
+    ComponentInfo by_uf = ComputeComponents(g);
+    ASSERT_EQ(by_bfs.num_components(), by_uf.num_components());
+    // Same partition (ids may differ): equal component_of equivalence.
+    for (Vertex u = 0; u < g.num_vertices(); ++u) {
+      for (Vertex v : g.Neighbors(u)) {
+        EXPECT_EQ(by_bfs.component_of[u], by_bfs.component_of[v]);
+      }
+      EXPECT_EQ(by_bfs.vertex_count[by_bfs.component_of[u]],
+                by_uf.vertex_count[by_uf.component_of[u]]);
+      EXPECT_EQ(by_bfs.edge_count[by_bfs.component_of[u]],
+                by_uf.edge_count[by_uf.component_of[u]]);
+    }
+  }
+}
+
+TEST(BfsComponentsTest, IsolatedVerticesAreSingletons) {
+  Graph g = Graph::FromEdges(5, std::vector<Edge>{{1, 2}});
+  SerialExecutor serial;
+  ComponentInfo info = ComputeComponentsByBfs(g, &serial);
+  EXPECT_EQ(info.num_components(), 4u);
+  EXPECT_EQ(info.vertex_count[info.component_of[0]], 1u);
+  EXPECT_EQ(info.vertex_count[info.component_of[1]], 2u);
+}
+
+}  // namespace
+}  // namespace pbfs

@@ -1,0 +1,159 @@
+#include "bfs/batch.h"
+
+#include <gtest/gtest.h>
+
+#include "bfs/gteps.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace pbfs {
+namespace {
+
+uint64_t ExpectedTotalVisits(const Graph& g,
+                             const std::vector<Vertex>& sources) {
+  uint64_t total = 0;
+  for (Vertex s : sources) total += testing_util::ReachableCount(g, s);
+  return total;
+}
+
+TEST(MakeBatchesTest, SplitsEvenlyWithTail) {
+  std::vector<Vertex> sources(150);
+  for (size_t i = 0; i < sources.size(); ++i) sources[i] = i;
+  auto batches = MakeBatches(sources, 64);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].size(), 64u);
+  EXPECT_EQ(batches[1].size(), 64u);
+  EXPECT_EQ(batches[2].size(), 22u);
+  EXPECT_EQ(batches[2][0], 128u);
+}
+
+class BatchModeTest : public ::testing::TestWithParam<BatchMode> {};
+
+TEST_P(BatchModeTest, AllModesVisitTheSameVertices) {
+  Graph g = Kronecker({.scale = 10, .edge_factor = 8, .seed = 71});
+  ComponentInfo components = ComputeComponents(g);
+  std::vector<Vertex> sources = PickSources(g, 100, 4);
+
+  BatchOptions options;
+  options.width = 64;
+  options.batch_size = 32;
+  options.num_threads = 3;
+  options.pin_threads = false;
+  BatchReport report = RunMultiSourceBatches(g, sources, GetParam(), options,
+                                             &components);
+  EXPECT_EQ(report.total_visits, ExpectedTotalVisits(g, sources));
+  EXPECT_EQ(report.num_batches, 4);
+  EXPECT_GT(report.seconds, 0.0);
+  EXPECT_EQ(report.traversed_edges, TraversedEdges(components, sources));
+  EXPECT_GT(report.gteps, 0.0);
+  EXPECT_GT(report.state_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, BatchModeTest,
+                         ::testing::Values(BatchMode::kParallel,
+                                           BatchMode::kSequentialPerCore,
+                                           BatchMode::kOnePerSocket),
+                         [](const ::testing::TestParamInfo<BatchMode>& info) {
+                           std::string name = BatchModeName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(BatchTest, MsBfsBaselineMode) {
+  Graph g = SocialNetwork({.num_vertices = 2048, .avg_degree = 8.0,
+                           .seed = 81});
+  ComponentInfo components = ComputeComponents(g);
+  std::vector<Vertex> sources = PickSources(g, 48, 6);
+  BatchOptions options;
+  options.num_threads = 2;
+  options.batch_size = 16;
+  options.msbfs_baseline = true;
+  options.pin_threads = false;
+  BatchReport report = RunMultiSourceBatches(
+      g, sources, BatchMode::kSequentialPerCore, options, &components);
+  EXPECT_EQ(report.total_visits, ExpectedTotalVisits(g, sources));
+  EXPECT_LE(report.threads_used, 2);
+}
+
+TEST(BatchTest, PerCoreModeUnderutilizesWithFewBatches) {
+  // One batch, four threads: only one thread can work — the Figure 2
+  // phenomenon.
+  Graph g = Grid(40, 40);
+  std::vector<Vertex> sources = PickSources(g, 16, 2);
+  BatchOptions options;
+  options.num_threads = 4;
+  options.batch_size = 64;  // all 16 sources in one batch
+  options.pin_threads = false;
+  BatchReport report = RunMultiSourceBatches(
+      g, sources, BatchMode::kSequentialPerCore, options, nullptr);
+  EXPECT_EQ(report.num_batches, 1);
+  EXPECT_EQ(report.threads_used, 1);
+}
+
+TEST(BatchTest, PerCoreModeStateGrowsWithThreads) {
+  // The Figure 3 phenomenon: per-core instances multiply the state.
+  Graph g = Grid(30, 30);
+  std::vector<Vertex> sources = PickSources(g, 64, 3);
+  BatchOptions options;
+  options.batch_size = 8;  // 8 batches
+  options.pin_threads = false;
+
+  options.num_threads = 1;
+  BatchReport one = RunMultiSourceBatches(
+      g, sources, BatchMode::kSequentialPerCore, options, nullptr);
+  options.num_threads = 4;
+  BatchReport four = RunMultiSourceBatches(
+      g, sources, BatchMode::kSequentialPerCore, options, nullptr);
+  // Each thread that processed a batch holds a full private instance.
+  // (On a loaded machine a single fast thread may drain all batches, so
+  // the multiplier is threads_used, not the thread count.)
+  EXPECT_EQ(four.state_bytes,
+            static_cast<uint64_t>(four.threads_used) * one.state_bytes);
+  EXPECT_GE(four.threads_used, 1);
+
+  // MS-PBFS holds a single instance regardless of thread count.
+  options.num_threads = 4;
+  BatchReport parallel = RunMultiSourceBatches(
+      g, sources, BatchMode::kParallel, options, nullptr);
+  EXPECT_EQ(parallel.state_bytes, one.state_bytes);
+}
+
+TEST(BatchTest, SingleSourceSweepCountsAllSources) {
+  Graph g = Kronecker({.scale = 9, .edge_factor = 8, .seed = 91});
+  ComponentInfo components = ComputeComponents(g);
+  std::vector<Vertex> sources = PickSources(g, 10, 5);
+  BatchOptions options;
+  options.num_threads = 2;
+  options.pin_threads = false;
+  for (SmsVariant variant : {SmsVariant::kBit, SmsVariant::kByte, SmsVariant::kQueue}) {
+    BatchReport report =
+        RunSingleSourceSweep(g, sources, variant, options, &components);
+    EXPECT_EQ(report.total_visits, ExpectedTotalVisits(g, sources));
+    EXPECT_EQ(report.num_batches, 10);
+  }
+}
+
+TEST(BatchTest, WidthsBeyond64) {
+  Graph g = SocialNetwork({.num_vertices = 1024, .avg_degree = 8.0,
+                           .seed = 99});
+  std::vector<Vertex> sources = PickSources(g, 200, 8);
+  BatchOptions options;
+  options.width = 256;
+  options.batch_size = 256;
+  options.num_threads = 2;
+  options.pin_threads = false;
+  BatchReport report = RunMultiSourceBatches(g, sources, BatchMode::kParallel,
+                                             options, nullptr);
+  EXPECT_EQ(report.num_batches, 1);
+  EXPECT_EQ(report.total_visits, ExpectedTotalVisits(g, sources));
+}
+
+TEST(GtepsTest, Arithmetic) {
+  EXPECT_DOUBLE_EQ(Gteps(2'000'000'000ull, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(Gteps(1000, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace pbfs

@@ -1,0 +1,204 @@
+// Property-based checks: structural invariants of BFS results and the
+// per-iteration instrumentation, swept over randomized graphs.
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "bfs/multi_source.h"
+#include "bfs/sequential.h"
+#include "bfs/single_source.h"
+#include "bfs/validate.h"
+#include "graph/components.h"
+#include "graph/generators.h"
+#include "sched/worker_pool.h"
+#include "test_util.h"
+
+namespace pbfs {
+namespace {
+
+class RandomGraphProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomGraphProperty, AllVariantsProduceValidLevelLabelings) {
+  const uint64_t seed = GetParam();
+  Graph g = ErdosRenyi(1024 + seed * 97, 2048 + seed * 331, seed);
+  ComponentInfo components = ComputeComponents(g);
+  std::vector<Vertex> sources = PickSources(g, 3, seed);
+
+  WorkerPool pool({.num_workers = 3, .pin_threads = false});
+  std::string error;
+
+  for (SmsVariant variant : {SmsVariant::kBit, SmsVariant::kByte, SmsVariant::kQueue}) {
+    std::unique_ptr<SingleSourceBfsBase> bfs =
+        MakeSmsPbfs(g, variant, &pool);
+    for (Vertex s : sources) {
+      std::vector<Level> levels(g.num_vertices());
+      bfs->Run(s, BfsOptions{}, levels.data());
+      EXPECT_TRUE(ValidateLevels(g, s, levels.data(), &components, &error))
+          << SmsVariantName(variant) << " seed=" << seed << ": " << error;
+    }
+  }
+
+  std::unique_ptr<MultiSourceBfsBase> ms = MakeMsPbfs(g, 64, &pool);
+  std::vector<Level> levels(sources.size() * g.num_vertices());
+  ms->Run(sources, BfsOptions{}, levels.data());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_TRUE(ValidateLevels(g, sources[i],
+                               levels.data() + i * g.num_vertices(),
+                               &components, &error))
+        << "ms-pbfs seed=" << seed << " i=" << i << ": " << error;
+  }
+}
+
+TEST_P(RandomGraphProperty, VisitCountsMatchComponentSizes) {
+  const uint64_t seed = GetParam();
+  Graph g = ErdosRenyi(512 + seed * 13, 700 + seed * 29, seed ^ 0xabc);
+  ComponentInfo components = ComputeComponents(g);
+  std::vector<Vertex> sources = PickSources(g, 8, seed);
+
+  SerialExecutor serial;
+  std::unique_ptr<MultiSourceBfsBase> ms = MakeMsPbfs(g, 64, &serial);
+  MsBfsResult r = ms->Run(sources, BfsOptions{}, nullptr);
+  uint64_t expected = 0;
+  for (Vertex s : sources) {
+    expected += components.vertex_count[components.component_of[s]];
+  }
+  EXPECT_EQ(r.total_visits, expected);
+}
+
+TEST_P(RandomGraphProperty, IterationCountMatchesEccentricity) {
+  const uint64_t seed = GetParam();
+  Graph g = ErdosRenyi(256, 300, seed ^ 0x5a5a);
+  Vertex source = PickSources(g, 1, seed)[0];
+  std::vector<Level> ref = testing_util::ReferenceLevels(g, source);
+  Level max_level = 0;
+  for (Level l : ref) {
+    if (l != kLevelUnreached) max_level = std::max(max_level, l);
+  }
+
+  SerialExecutor serial;
+  for (SmsVariant variant : {SmsVariant::kBit, SmsVariant::kByte, SmsVariant::kQueue}) {
+    std::unique_ptr<SingleSourceBfsBase> bfs =
+        MakeSmsPbfs(g, variant, &serial);
+    BfsResult r = bfs->Run(source, BfsOptions{}, nullptr);
+    EXPECT_EQ(r.iterations, max_level) << SmsVariantName(variant);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphProperty,
+                         ::testing::Range<uint64_t>(0, 8));
+
+TEST(InstrumentationTest, StatsCoverEveryIteration) {
+  Graph g = Kronecker({.scale = 10, .edge_factor = 8, .seed = 111});
+  WorkerPool pool({.num_workers = 3, .pin_threads = false});
+  TraversalStats stats;
+  BfsOptions options;
+  options.stats = &stats;
+
+  std::unique_ptr<SingleSourceBfsBase> bfs =
+      MakeSmsPbfs(g, SmsVariant::kByte, &pool);
+  Vertex source = PickSources(g, 1, 1)[0];
+  BfsResult r = bfs->Run(source, options, nullptr);
+
+  // The final, empty iteration is also recorded.
+  ASSERT_EQ(stats.iterations().size(),
+            static_cast<size_t>(r.iterations) + 1);
+  uint64_t discovered = 0;
+  uint64_t updates = 0;
+  for (const TraversalStats::Iteration& iter : stats.iterations()) {
+    ASSERT_EQ(iter.neighbors_visited.size(), 3u);
+    ASSERT_EQ(iter.states_updated.size(), 3u);
+    ASSERT_EQ(iter.busy_ms.size(), 3u);
+    EXPECT_GE(iter.runtime_ms, 0.0);
+    for (double ms : iter.busy_ms) EXPECT_GE(ms, 0.0);
+    discovered += iter.vertices_discovered;
+    for (uint64_t u : iter.states_updated) updates += u;
+  }
+  EXPECT_EQ(discovered, r.vertices_visited - 1);  // source not counted
+  EXPECT_EQ(updates, discovered);
+}
+
+TEST(InstrumentationTest, TopDownNeighborCountsMatchFrontierDegrees) {
+  // Pure top-down: the neighbors visited in iteration d equal the degree
+  // sum of the level-(d-1) frontier.
+  Graph g = Grid(12, 12);
+  SerialExecutor serial;
+  TraversalStats stats;
+  BfsOptions options;
+  options.stats = &stats;
+  options.enable_bottom_up = false;
+
+  std::unique_ptr<SingleSourceBfsBase> bfs =
+      MakeSmsPbfs(g, SmsVariant::kBit, &serial);
+  bfs->Run(0, options, nullptr);
+  std::vector<Level> ref = testing_util::ReferenceLevels(g, 0);
+
+  for (size_t d = 0; d < stats.iterations().size(); ++d) {
+    uint64_t frontier_degree = 0;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (ref[v] == static_cast<Level>(d)) frontier_degree += g.Degree(v);
+    }
+    uint64_t visited = std::accumulate(
+        stats.iterations()[d].neighbors_visited.begin(),
+        stats.iterations()[d].neighbors_visited.end(), uint64_t{0});
+    EXPECT_EQ(visited, frontier_degree) << "iteration " << d;
+    EXPECT_EQ(stats.iterations()[d].direction, Direction::kTopDown);
+  }
+}
+
+TEST(InstrumentationTest, MultiSourceStats) {
+  Graph g = SocialNetwork({.num_vertices = 2048, .avg_degree = 10.0,
+                           .seed = 7});
+  WorkerPool pool({.num_workers = 4, .pin_threads = false});
+  TraversalStats stats;
+  BfsOptions options;
+  options.stats = &stats;
+
+  std::unique_ptr<MultiSourceBfsBase> ms = MakeMsPbfs(g, 64, &pool);
+  std::vector<Vertex> sources = PickSources(g, 64, 3);
+  MsBfsResult r = ms->Run(sources, options, nullptr);
+  ASSERT_GE(stats.iterations().size(), 1u);
+  ASSERT_EQ(stats.iterations().size(),
+            static_cast<size_t>(r.iterations) + 1);
+  uint64_t updated = 0;
+  for (const TraversalStats::Iteration& iter : stats.iterations()) {
+    for (uint64_t u : iter.states_updated) updated += u;
+  }
+  EXPECT_GT(updated, 0u);
+}
+
+TEST(InstrumentationTest, ResetClearsHistory) {
+  TraversalStats stats;
+  stats.Reset(2);
+  stats.Accumulate(0, 10, 5, 100);
+  stats.Accumulate(1, 20, 7, 200);
+  stats.FinishIteration(Direction::kTopDown, 1.5, 12);
+  ASSERT_EQ(stats.iterations().size(), 1u);
+  EXPECT_EQ(stats.iterations()[0].neighbors_visited[0], 10u);
+  EXPECT_EQ(stats.iterations()[0].neighbors_visited[1], 20u);
+  EXPECT_EQ(stats.iterations()[0].vertices_discovered, 12u);
+
+  stats.Reset(2);
+  EXPECT_TRUE(stats.iterations().empty());
+}
+
+TEST(SequentialBfsTest, KnownDistancesOnPath) {
+  Graph g = Path(6);
+  std::vector<Level> levels(6);
+  BfsResult r = SequentialBfs(g, 2, levels.data());
+  EXPECT_EQ(levels, (std::vector<Level>{2, 1, 0, 1, 2, 3}));
+  EXPECT_EQ(r.vertices_visited, 6u);
+  EXPECT_EQ(r.iterations, 3);
+}
+
+TEST(SequentialBfsTest, DisconnectedStaysUnreached) {
+  Graph g = Graph::FromEdges(4, std::vector<Edge>{{0, 1}});
+  std::vector<Level> levels(4);
+  BfsResult r = SequentialBfs(g, 0, levels.data());
+  EXPECT_EQ(levels[2], kLevelUnreached);
+  EXPECT_EQ(levels[3], kLevelUnreached);
+  EXPECT_EQ(r.vertices_visited, 2u);
+}
+
+}  // namespace
+}  // namespace pbfs

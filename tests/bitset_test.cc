@@ -1,0 +1,150 @@
+#include "util/bitset.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pbfs {
+namespace {
+
+template <typename T>
+class BitsetTest : public ::testing::Test {};
+
+using Widths = ::testing::Types<Bitset<64>, Bitset<128>, Bitset<256>,
+                                Bitset<512>, Bitset<1024>>;
+TYPED_TEST_SUITE(BitsetTest, Widths);
+
+TYPED_TEST(BitsetTest, ZeroHasNoBits) {
+  TypeParam b = TypeParam::Zero();
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.Any());
+  EXPECT_EQ(b.Count(), 0);
+  for (int i = 0; i < TypeParam::kNumBits; ++i) EXPECT_FALSE(b.Test(i));
+}
+
+TYPED_TEST(BitsetTest, SetAndTestEveryBit) {
+  for (int i = 0; i < TypeParam::kNumBits; ++i) {
+    TypeParam b = TypeParam::Zero();
+    b.Set(i);
+    EXPECT_TRUE(b.Test(i));
+    EXPECT_EQ(b.Count(), 1);
+    EXPECT_TRUE(b.Any());
+    // No other bit leaks.
+    for (int j = 0; j < TypeParam::kNumBits; ++j) {
+      EXPECT_EQ(b.Test(j), i == j);
+    }
+  }
+}
+
+TYPED_TEST(BitsetTest, LowBitsBoundaries) {
+  EXPECT_TRUE(TypeParam::LowBits(0).None());
+  TypeParam all = TypeParam::LowBits(TypeParam::kNumBits);
+  EXPECT_EQ(all.Count(), TypeParam::kNumBits);
+  for (int count : {1, 63, 64, 65, TypeParam::kNumBits - 1}) {
+    if (count > TypeParam::kNumBits) continue;
+    TypeParam b = TypeParam::LowBits(count);
+    EXPECT_EQ(b.Count(), count);
+    for (int i = 0; i < TypeParam::kNumBits; ++i) {
+      EXPECT_EQ(b.Test(i), i < count) << "count=" << count << " bit=" << i;
+    }
+  }
+}
+
+TYPED_TEST(BitsetTest, BitwiseOperators) {
+  TypeParam a = TypeParam::Zero();
+  TypeParam b = TypeParam::Zero();
+  a.Set(0);
+  a.Set(TypeParam::kNumBits - 1);
+  b.Set(TypeParam::kNumBits - 1);
+  EXPECT_EQ((a & b).Count(), 1);
+  EXPECT_EQ((a | b).Count(), 2);
+  EXPECT_EQ((~a).Count(), TypeParam::kNumBits - 2);
+  EXPECT_TRUE(b.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  TypeParam c = a;
+  c &= b;
+  EXPECT_EQ(c, b);
+  c |= a;
+  EXPECT_EQ(c, a);
+}
+
+TYPED_TEST(BitsetTest, ForEachSetBitVisitsInOrder) {
+  TypeParam b = TypeParam::Zero();
+  std::vector<int> expected = {0, 1, 63};
+  if (TypeParam::kNumBits > 64) {
+    expected.push_back(64);
+    expected.push_back(TypeParam::kNumBits - 1);
+  }
+  for (int i : expected) b.Set(i);
+  std::vector<int> got;
+  b.ForEachSetBit([&](int bit) { got.push_back(bit); });
+  EXPECT_EQ(got, expected);
+}
+
+TYPED_TEST(BitsetTest, ClearResets) {
+  TypeParam b = TypeParam::LowBits(TypeParam::kNumBits);
+  b.Clear();
+  EXPECT_TRUE(b.None());
+}
+
+TYPED_TEST(BitsetTest, AtomicOrMatchesPlainOr) {
+  TypeParam a = TypeParam::Zero();
+  TypeParam b = TypeParam::Zero();
+  a.Set(1);
+  b.Set(TypeParam::kNumBits - 2);
+  TypeParam atomic_result = a;
+  atomic_result.AtomicOr(b);
+  EXPECT_EQ(atomic_result, a | b);
+}
+
+TEST(AtomicFetchOrIfChangedTest, ReportsChange) {
+  uint64_t word = 0;
+  EXPECT_TRUE(AtomicFetchOrIfChanged(&word, 0b101));
+  EXPECT_EQ(word, 0b101u);
+  // Already present: no change.
+  EXPECT_FALSE(AtomicFetchOrIfChanged(&word, 0b001));
+  EXPECT_EQ(word, 0b101u);
+  // Zero is a no-op.
+  EXPECT_FALSE(AtomicFetchOrIfChanged(&word, 0));
+  // Partial overlap still changes.
+  EXPECT_TRUE(AtomicFetchOrIfChanged(&word, 0b110));
+  EXPECT_EQ(word, 0b111u);
+}
+
+TEST(AtomicFetchOrIfChangedTest, ConcurrentOrsLoseNothing) {
+  // 8 threads each OR their own 8-bit slice into one word, many times.
+  uint64_t word = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&word, t] {
+      for (int i = 0; i < 8; ++i) {
+        AtomicFetchOrIfChanged(&word, uint64_t{1} << (t * 8 + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(word, ~uint64_t{0});
+}
+
+TEST(BitsetConcurrencyTest, ParallelAtomicOrAccumulatesAllBits) {
+  // Multiple threads OR disjoint bit patterns into a shared wide bitset;
+  // the result must be the union (the guarantee MS-PBFS phase 1 needs).
+  Bitset<512> shared = Bitset<512>::Zero();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&shared, t] {
+      for (int rep = 0; rep < 100; ++rep) {
+        Bitset<512> mine = Bitset<512>::Zero();
+        for (int i = t; i < 512; i += 8) mine.Set(i);
+        shared.AtomicOr(mine);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(shared.Count(), 512);
+}
+
+}  // namespace
+}  // namespace pbfs

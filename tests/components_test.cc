@@ -1,0 +1,101 @@
+#include "graph/components.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace pbfs {
+namespace {
+
+Graph TwoTrianglesAndIsolated() {
+  // Component A: {0,1,2}; component B: {3,4,5}; isolated: 6.
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}};
+  return Graph::FromEdges(7, edges);
+}
+
+TEST(ComponentsTest, IdentifiesComponents) {
+  Graph g = TwoTrianglesAndIsolated();
+  ComponentInfo info = ComputeComponents(g);
+  EXPECT_EQ(info.num_components(), 3u);
+  EXPECT_EQ(info.component_of[0], info.component_of[1]);
+  EXPECT_EQ(info.component_of[0], info.component_of[2]);
+  EXPECT_EQ(info.component_of[3], info.component_of[4]);
+  EXPECT_NE(info.component_of[0], info.component_of[3]);
+  EXPECT_NE(info.component_of[6], info.component_of[0]);
+  EXPECT_NE(info.component_of[6], info.component_of[3]);
+}
+
+TEST(ComponentsTest, CountsVerticesAndEdges) {
+  Graph g = TwoTrianglesAndIsolated();
+  ComponentInfo info = ComputeComponents(g);
+  uint32_t comp_a = info.component_of[0];
+  uint32_t comp_iso = info.component_of[6];
+  EXPECT_EQ(info.vertex_count[comp_a], 3u);
+  EXPECT_EQ(info.edge_count[comp_a], 3u);
+  EXPECT_EQ(info.vertex_count[comp_iso], 1u);
+  EXPECT_EQ(info.edge_count[comp_iso], 0u);
+  EXPECT_EQ(info.EdgesReachableFrom(1), 3u);
+  EXPECT_EQ(info.EdgesReachableFrom(6), 0u);
+}
+
+TEST(ComponentsTest, ConnectedGraphIsOneComponent) {
+  Graph g = Grid(8, 8);
+  ComponentInfo info = ComputeComponents(g);
+  EXPECT_EQ(info.num_components(), 1u);
+  EXPECT_EQ(info.vertex_count[0], 64u);
+  EXPECT_EQ(info.edge_count[0], g.num_edges());
+}
+
+TEST(ComponentsTest, LargestComponent) {
+  std::vector<Edge> edges = {{0, 1}, {2, 3}, {3, 4}, {4, 5}};
+  Graph g = Graph::FromEdges(6, edges);
+  ComponentInfo info = ComputeComponents(g);
+  EXPECT_EQ(info.vertex_count[info.LargestComponent()], 4u);
+}
+
+TEST(ComponentsTest, EdgeSumMatchesGraph) {
+  Graph g = Kronecker({.scale = 10, .edge_factor = 8, .seed = 9});
+  ComponentInfo info = ComputeComponents(g);
+  EdgeIndex total = 0;
+  for (EdgeIndex e : info.edge_count) total += e;
+  EXPECT_EQ(total, g.num_edges());
+  Vertex vertices = 0;
+  for (Vertex v : info.vertex_count) vertices += v;
+  EXPECT_EQ(vertices, g.num_vertices());
+}
+
+TEST(PickSourcesTest, DistinctAndEligible) {
+  Graph g = Star(100);
+  std::vector<Vertex> sources = PickSources(g, 50, 1);
+  EXPECT_EQ(sources.size(), 50u);
+  std::set<Vertex> unique(sources.begin(), sources.end());
+  EXPECT_EQ(unique.size(), 50u);
+  for (Vertex s : sources) EXPECT_GT(g.Degree(s), 0u);
+}
+
+TEST(PickSourcesTest, SkipsZeroDegreeVertices) {
+  std::vector<Edge> edges = {{0, 1}};
+  Graph g = Graph::FromEdges(100, edges);  // 98 isolated vertices
+  std::vector<Vertex> sources = PickSources(g, 2, 7);
+  ASSERT_EQ(sources.size(), 2u);
+  for (Vertex s : sources) EXPECT_LE(s, 1u);
+}
+
+TEST(PickSourcesTest, MoreSourcesThanEligibleAllowsRepeats) {
+  std::vector<Edge> edges = {{0, 1}};
+  Graph g = Graph::FromEdges(4, edges);
+  std::vector<Vertex> sources = PickSources(g, 10, 3);
+  EXPECT_EQ(sources.size(), 10u);
+  for (Vertex s : sources) EXPECT_LE(s, 1u);
+}
+
+TEST(PickSourcesTest, DeterministicBySeed) {
+  Graph g = Cycle(1000);
+  EXPECT_EQ(PickSources(g, 64, 5), PickSources(g, 64, 5));
+  EXPECT_NE(PickSources(g, 64, 5), PickSources(g, 64, 6));
+}
+
+}  // namespace
+}  // namespace pbfs

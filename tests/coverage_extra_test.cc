@@ -1,0 +1,123 @@
+// Final coverage pass: small contracts not pinned down elsewhere.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/closeness.h"
+#include "algorithms/eccentricity.h"
+#include "algorithms/parents.h"
+#include "bfs/batch.h"
+#include "graph/generators.h"
+#include "sched/task_queues.h"
+#include "sched/worker_pool.h"
+#include "test_util.h"
+
+namespace pbfs {
+namespace {
+
+TEST(TaskQueuesTest, EmptyLoopYieldsNoTasks) {
+  TaskQueues queues(3);
+  queues.Reset(0, 64);
+  EXPECT_EQ(queues.num_tasks(), 0u);
+  int cursor = 0;
+  EXPECT_TRUE(queues.Fetch(0, &cursor).empty());
+  EXPECT_TRUE(queues.Fetch(2, &cursor).empty());
+}
+
+TEST(TaskQueuesTest, FewerTasksThanWorkers) {
+  // 2 tasks, 8 workers: queues 2..7 are empty; everyone can still fetch.
+  TaskQueues queues(8);
+  queues.Reset(100, 64);
+  EXPECT_EQ(queues.num_tasks(), 2u);
+  int cursor = 0;
+  TaskRange a = queues.Fetch(5, &cursor);  // steals from queue 0 or 1
+  EXPECT_FALSE(a.empty());
+  TaskRange b = queues.Fetch(5, &cursor);
+  EXPECT_FALSE(b.empty());
+  EXPECT_NE(a.begin, b.begin);
+  EXPECT_TRUE(queues.Fetch(5, &cursor).empty());
+}
+
+TEST(MakeBatchesTest, BatchLargerThanSources) {
+  std::vector<Vertex> sources = {1, 2, 3};
+  auto batches = MakeBatches(sources, 64);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 3u);
+}
+
+TEST(WorkerPoolTest, MoreWorkersThanTasks) {
+  WorkerPool pool({.num_workers = 8, .pin_threads = false});
+  std::atomic<uint64_t> covered{0};
+  pool.ParallelFor(10, 64, [&](int, uint64_t b, uint64_t e) {
+    covered.fetch_add(e - b);
+  });
+  EXPECT_EQ(covered.load(), 10u);
+}
+
+TEST(ClosenessTest, DirectionPolicyDoesNotChangeScores) {
+  Graph g = SocialNetwork({.num_vertices = 512, .avg_degree = 8.0,
+                           .seed = 77});
+  SerialExecutor serial;
+  ClosenessOptions hybrid;
+  ClosenessOptions top_down;
+  top_down.bfs.enable_bottom_up = false;
+  ClosenessResult a = ComputeCloseness(g, &serial, hybrid);
+  ClosenessResult b = ComputeCloseness(g, &serial, top_down);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(a.score[v], b.score[v]) << v;
+    EXPECT_DOUBLE_EQ(a.harmonic[v], b.harmonic[v]) << v;
+  }
+}
+
+TEST(DiameterTest, SingleSweepIsSourceEccentricityBound) {
+  Graph g = Path(30);
+  SerialExecutor serial;
+  DiameterEstimate one = EstimateDiameter(g, 15, &serial, /*sweeps=*/1);
+  EXPECT_EQ(one.lower_bound, 15);  // farthest from the middle
+  EXPECT_EQ(one.bfs_runs, 1);
+  DiameterEstimate two = EstimateDiameter(g, 15, &serial, /*sweeps=*/2);
+  EXPECT_EQ(two.lower_bound, 29);  // second sweep from an endpoint
+}
+
+TEST(ParentsTest, ParallelDerivationOnRealPool) {
+  Graph g = Kronecker({.scale = 11, .edge_factor = 8, .seed = 41});
+  WorkerPool pool({.num_workers = 4, .pin_threads = false});
+  Vertex source = PickSources(g, 1, 3)[0];
+  std::vector<Level> levels = testing_util::ReferenceLevels(g, source);
+  std::vector<Vertex> parents =
+      DeriveParentsParallel(g, source, levels.data(), &pool);
+  std::string error;
+  EXPECT_TRUE(ValidateParents(g, source, parents, levels.data(), &error))
+      << error;
+}
+
+TEST(BatchTest, Width1024SingleBatch) {
+  Graph g = SocialNetwork({.num_vertices = 2048, .avg_degree = 8.0,
+                           .seed = 13});
+  ComponentInfo components = ComputeComponents(g);
+  std::vector<Vertex> sources = PickSources(g, 1000, 4);
+  BatchOptions options;
+  options.width = 1024;
+  options.batch_size = 1024;
+  options.num_threads = 2;
+  options.pin_threads = false;
+  BatchReport report = RunMultiSourceBatches(g, sources, BatchMode::kParallel,
+                                             options, &components);
+  EXPECT_EQ(report.num_batches, 1);
+  uint64_t expected = 0;
+  for (Vertex s : sources) {
+    expected += components.vertex_count[components.component_of[s]];
+  }
+  EXPECT_EQ(report.total_visits, expected);
+}
+
+TEST(GraphTest, NeighborsSpanIsStable) {
+  // The span must point into the CSR arrays (no copies).
+  Graph g = Path(10);
+  auto a = g.Neighbors(5);
+  auto b = g.Neighbors(5);
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(a.data(), g.targets() + g.offsets()[5]);
+}
+
+}  // namespace
+}  // namespace pbfs

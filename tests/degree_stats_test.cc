@@ -1,0 +1,64 @@
+#include "graph/degree_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace pbfs {
+namespace {
+
+TEST(DegreeStatsTest, UniformCycle) {
+  DegreeStats s = ComputeDegreeStats(Cycle(100));
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(s.average_degree, 2.0);
+  EXPECT_DOUBLE_EQ(s.average_connected, 2.0);
+  EXPECT_EQ(s.zero_degree_vertices, 0u);
+  ASSERT_EQ(s.log2_histogram.size(), 2u);  // bucket for degree 2..3
+  EXPECT_EQ(s.log2_histogram[1], 100u);
+  // Half the endpoints need half the vertices.
+  EXPECT_EQ(s.half_edges_vertex_count, 50u);
+}
+
+TEST(DegreeStatsTest, StarIsHubDominated) {
+  DegreeStats s = ComputeDegreeStats(Star(101));
+  EXPECT_EQ(s.max_degree, 100u);
+  EXPECT_EQ(s.zero_degree_vertices, 0u);
+  // The hub alone covers half of all endpoints.
+  EXPECT_EQ(s.half_edges_vertex_count, 1u);
+}
+
+TEST(DegreeStatsTest, CountsIsolatedVertices) {
+  Graph g = Graph::FromEdges(10, std::vector<Edge>{{0, 1}});
+  DegreeStats s = ComputeDegreeStats(g);
+  EXPECT_EQ(s.zero_degree_vertices, 8u);
+  EXPECT_DOUBLE_EQ(s.average_degree, 0.2);
+  EXPECT_DOUBLE_EQ(s.average_connected, 1.0);
+}
+
+TEST(DegreeStatsTest, EmptyGraph) {
+  DegreeStats s = ComputeDegreeStats(Graph::FromEdges(0, {}));
+  EXPECT_EQ(s.max_degree, 0u);
+  EXPECT_DOUBLE_EQ(s.average_degree, 0.0);
+}
+
+TEST(DegreeGiniTest, UniformIsZero) {
+  EXPECT_NEAR(DegreeGini(Cycle(64)), 0.0, 1e-9);
+  EXPECT_NEAR(DegreeGini(Complete(16)), 0.0, 1e-9);
+}
+
+TEST(DegreeGiniTest, HubGraphsScoreHigher) {
+  double star = DegreeGini(Star(256));
+  double cycle = DegreeGini(Cycle(256));
+  EXPECT_GT(star, 0.4);
+  EXPECT_LT(cycle, 0.01);
+}
+
+TEST(DegreeGiniTest, PowerLawGraphsAreSkewed) {
+  double kron = DegreeGini(Kronecker({.scale = 12, .edge_factor = 16,
+                                      .seed = 2}));
+  double uniform = DegreeGini(ErdosRenyi(1 << 12, 1 << 16, 2));
+  EXPECT_GT(kron, uniform + 0.2);
+}
+
+}  // namespace
+}  // namespace pbfs

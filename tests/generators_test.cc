@@ -1,0 +1,157 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace pbfs {
+namespace {
+
+TEST(KroneckerTest, EdgeCountMatchesEdgeFactor) {
+  KroneckerOptions options;
+  options.scale = 10;
+  options.edge_factor = 16;
+  std::vector<Edge> edges = KroneckerEdges(options);
+  EXPECT_EQ(edges.size(), (1u << 10) * 16u);
+}
+
+TEST(KroneckerTest, VerticesInRange) {
+  KroneckerOptions options;
+  options.scale = 8;
+  for (const Edge& e : KroneckerEdges(options)) {
+    EXPECT_LT(e.u, 1u << 8);
+    EXPECT_LT(e.v, 1u << 8);
+  }
+}
+
+TEST(KroneckerTest, DeterministicBySeed) {
+  KroneckerOptions options;
+  options.scale = 9;
+  options.seed = 42;
+  std::vector<Edge> a = KroneckerEdges(options);
+  std::vector<Edge> b = KroneckerEdges(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+
+  options.seed = 43;
+  std::vector<Edge> c = KroneckerEdges(options);
+  EXPECT_FALSE(std::equal(a.begin(), a.end(), c.begin()));
+}
+
+TEST(KroneckerTest, SkewedDegreeDistribution) {
+  // Power-law-ish: the max degree should far exceed the average.
+  KroneckerOptions options;
+  options.scale = 12;
+  Graph g = Kronecker(options);
+  double avg = static_cast<double>(g.num_directed_edges()) /
+               std::max<Vertex>(1, g.NumConnectedVertices());
+  EXPECT_GT(static_cast<double>(g.MaxDegree()), 8.0 * avg);
+}
+
+TEST(KroneckerTest, HighDegreeVariantKg0) {
+  KroneckerOptions options;
+  options.scale = 8;
+  options.edge_factor = 256;  // KG0-style dense graph (paper uses 1024)
+  Graph g = Kronecker(options);
+  double avg = static_cast<double>(g.num_directed_edges()) /
+               std::max<Vertex>(1, g.NumConnectedVertices());
+  EXPECT_GT(avg, 32.0);  // dense even after dedup
+}
+
+TEST(SocialNetworkTest, ApproximatesRequestedAverageDegree) {
+  SocialNetworkOptions options;
+  options.num_vertices = 1 << 14;
+  options.avg_degree = 16.0;
+  Graph g = SocialNetwork(options);
+  double avg = 2.0 * static_cast<double>(g.num_edges()) /
+               static_cast<double>(g.num_vertices());
+  // Dedup and self-loop removal lose some edges; shape matters here.
+  EXPECT_GT(avg, 6.0);
+  EXPECT_LT(avg, 20.0);
+}
+
+TEST(SocialNetworkTest, DeterministicBySeed) {
+  SocialNetworkOptions options;
+  options.num_vertices = 4096;
+  std::vector<Edge> a = SocialNetworkEdges(options);
+  std::vector<Edge> b = SocialNetworkEdges(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(SocialNetworkTest, PowerLawSkew) {
+  SocialNetworkOptions options;
+  options.num_vertices = 1 << 14;
+  options.avg_degree = 16.0;
+  Graph g = SocialNetwork(options);
+  double avg = static_cast<double>(g.num_directed_edges()) /
+               static_cast<double>(g.num_vertices());
+  EXPECT_GT(static_cast<double>(g.MaxDegree()), 5.0 * avg);
+}
+
+TEST(WebGraphTest, DeterministicAndSized) {
+  WebGraphOptions options;
+  options.num_vertices = 1 << 13;
+  std::vector<Edge> a = WebGraphEdges(options);
+  std::vector<Edge> b = WebGraphEdges(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  EXPECT_EQ(a.size(),
+            static_cast<size_t>(options.avg_degree *
+                                options.num_vertices / 2.0));
+}
+
+TEST(WebGraphTest, LinksAreLocal) {
+  WebGraphOptions options;
+  options.num_vertices = 1 << 14;
+  options.locality_fraction = 0.8;
+  std::vector<Edge> edges = WebGraphEdges(options);
+  size_t local = 0;
+  for (const Edge& e : edges) {
+    uint64_t distance = e.u > e.v ? e.u - e.v : e.v - e.u;
+    if (distance <= options.locality_window) ++local;
+  }
+  // At least the configured fraction is within the locality window
+  // (copying also tends to land nearby).
+  EXPECT_GT(static_cast<double>(local) / edges.size(), 0.75);
+
+  // A uniform random graph has no id locality at all.
+  std::vector<Edge> uniform = ErdosRenyiEdges(1 << 14, edges.size(), 3);
+  size_t uniform_local = 0;
+  for (const Edge& e : uniform) {
+    uint64_t distance = e.u > e.v ? e.u - e.v : e.v - e.u;
+    if (distance <= options.locality_window) ++uniform_local;
+  }
+  EXPECT_LT(static_cast<double>(uniform_local) / uniform.size(), 0.3);
+}
+
+TEST(WebGraphTest, CopyingModelProducesHubs) {
+  // Pure copying (no locality dilution): preferential attachment yields
+  // hubs far above a uniform random graph's maximum degree.
+  Graph g = WebGraph({.num_vertices = 1 << 14, .avg_degree = 20.0,
+                      .locality_fraction = 0.0, .copy_fraction = 1.0,
+                      .seed = 9});
+  double avg = static_cast<double>(g.num_directed_edges()) /
+               static_cast<double>(g.num_vertices());
+  Graph uniform = ErdosRenyi(1 << 14, g.num_edges(), 9);
+  EXPECT_GT(static_cast<double>(g.MaxDegree()), 6.0 * avg);
+  EXPECT_GT(g.MaxDegree(), 3 * uniform.MaxDegree());
+}
+
+TEST(ErdosRenyiTest, SizeAndDeterminism) {
+  std::vector<Edge> a = ErdosRenyiEdges(1000, 5000, 1);
+  EXPECT_EQ(a.size(), 5000u);
+  std::vector<Edge> b = ErdosRenyiEdges(1000, 5000, 1);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(ErdosRenyiTest, NearUniformDegrees) {
+  Graph g = ErdosRenyi(1 << 12, 1 << 15, 3);
+  double avg = static_cast<double>(g.num_directed_edges()) /
+               static_cast<double>(g.num_vertices());
+  // Uniform random graphs have light tails: max degree within ~4x avg.
+  EXPECT_LT(static_cast<double>(g.MaxDegree()), 4.0 * avg + 8.0);
+}
+
+}  // namespace
+}  // namespace pbfs

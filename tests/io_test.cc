@@ -1,0 +1,127 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace pbfs {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(IoTest, TextEdgeListRoundTrip) {
+  std::vector<Edge> edges = {{0, 1}, {2, 3}, {1, 2}};
+  std::string path = TempPath("edges.txt");
+  ASSERT_TRUE(WriteEdgeListText(path, edges));
+
+  std::vector<Edge> read;
+  Vertex n = 0;
+  ASSERT_TRUE(ReadEdgeListText(path, &read, &n));
+  EXPECT_EQ(n, 4u);
+  ASSERT_EQ(read.size(), edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) EXPECT_EQ(read[i], edges[i]);
+}
+
+TEST(IoTest, TextEdgeListSkipsCommentsAndBlankLines) {
+  std::string path = TempPath("comments.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# SNAP-style comment\n\n% matrix-market comment\n5 7\n  3\t4\n",
+             f);
+  std::fclose(f);
+
+  std::vector<Edge> read;
+  Vertex n = 0;
+  ASSERT_TRUE(ReadEdgeListText(path, &read, &n));
+  ASSERT_EQ(read.size(), 2u);
+  EXPECT_EQ(read[0], (Edge{5, 7}));
+  EXPECT_EQ(read[1], (Edge{3, 4}));
+  EXPECT_EQ(n, 8u);
+}
+
+TEST(IoTest, TextEdgeListRenumbering) {
+  std::string path = TempPath("sparse_ids.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("1000000 2000000\n2000000 3000000\n", f);
+  std::fclose(f);
+
+  std::vector<Edge> read;
+  Vertex n = 0;
+  ASSERT_TRUE(ReadEdgeListText(path, &read, &n, /*renumber=*/true));
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(read[0], (Edge{0, 1}));
+  EXPECT_EQ(read[1], (Edge{1, 2}));
+}
+
+TEST(IoTest, MissingFileFails) {
+  std::vector<Edge> read;
+  Vertex n = 0;
+  EXPECT_FALSE(ReadEdgeListText(TempPath("does_not_exist.txt"), &read, &n));
+  Graph g;
+  EXPECT_FALSE(ReadGraphBinary(TempPath("does_not_exist.bin"), &g));
+}
+
+TEST(IoTest, BinaryRoundTrip) {
+  Graph original = Kronecker({.scale = 8, .edge_factor = 8, .seed = 5});
+  std::string path = TempPath("graph.pbfs");
+  ASSERT_TRUE(WriteGraphBinary(path, original));
+
+  Graph loaded;
+  ASSERT_TRUE(ReadGraphBinary(path, &loaded));
+  ASSERT_EQ(loaded.num_vertices(), original.num_vertices());
+  ASSERT_EQ(loaded.num_directed_edges(), original.num_directed_edges());
+  for (Vertex v = 0; v < original.num_vertices(); ++v) {
+    auto a = original.Neighbors(v);
+    auto b = loaded.Neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(IoTest, BinaryRejectsBadMagic) {
+  std::string path = TempPath("bad_magic.pbfs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("NOTAPBFSFILE and then some bytes", f);
+  std::fclose(f);
+  Graph g;
+  EXPECT_FALSE(ReadGraphBinary(path, &g));
+}
+
+TEST(IoTest, BinaryRejectsTruncatedFile) {
+  Graph original = Path(100);
+  std::string path = TempPath("truncated.pbfs");
+  ASSERT_TRUE(WriteGraphBinary(path, original));
+  // Truncate to the first 32 bytes.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[32];
+  ASSERT_EQ(std::fread(buf, 1, sizeof(buf), f), sizeof(buf));
+  std::fclose(f);
+  f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+
+  Graph g;
+  EXPECT_FALSE(ReadGraphBinary(path, &g));
+}
+
+TEST(IoTest, BinaryEmptyGraph) {
+  Graph empty = Graph::FromEdges(0, {});
+  std::string path = TempPath("empty.pbfs");
+  ASSERT_TRUE(WriteGraphBinary(path, empty));
+  Graph loaded;
+  ASSERT_TRUE(ReadGraphBinary(path, &loaded));
+  EXPECT_EQ(loaded.num_vertices(), 0u);
+  EXPECT_EQ(loaded.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace pbfs

@@ -1,0 +1,112 @@
+#include "algorithms/landmarks.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.h"
+#include "graph/generators.h"
+#include "sched/worker_pool.h"
+#include "test_util.h"
+
+namespace pbfs {
+namespace {
+
+TEST(LandmarkTest, BoundsBracketTrueDistance) {
+  Graph g = SocialNetwork({.num_vertices = 2048, .avg_degree = 10.0,
+                           .seed = 15});
+  WorkerPool pool({.num_workers = 3, .pin_threads = false});
+  LandmarkIndex index = LandmarkIndex::Build(g, &pool, {.num_landmarks = 8});
+
+  for (Vertex s : PickSources(g, 4, 1)) {
+    std::vector<Level> truth = testing_util::ReferenceLevels(g, s);
+    for (Vertex t : PickSources(g, 16, 2)) {
+      DistanceBounds bounds = index.Query(s, t);
+      if (truth[t] == kLevelUnreached) {
+        // No landmark can connect vertices in different components.
+        EXPECT_EQ(bounds.upper, kLevelUnreached);
+        continue;
+      }
+      ASSERT_NE(bounds.upper, kLevelUnreached)
+          << "hub landmarks must cover the giant component";
+      EXPECT_LE(bounds.lower, truth[t]);
+      EXPECT_GE(bounds.upper, truth[t]);
+    }
+  }
+}
+
+TEST(LandmarkTest, ExactForLandmarkEndpoints) {
+  Graph g = Grid(12, 12);
+  SerialExecutor serial;
+  LandmarkIndex index = LandmarkIndex::Build(
+      g, &serial, {.num_landmarks = 4, .strategy = LandmarkStrategy::kRandom,
+                   .seed = 5});
+  // Queries from a landmark itself are exact: d(L, t) has sum bound
+  // d(L,L) + d(L,t) = d(L,t) and diff bound d(L,t).
+  Vertex landmark = index.landmarks()[0];
+  std::vector<Level> truth = testing_util::ReferenceLevels(g, landmark);
+  for (Vertex t = 0; t < g.num_vertices(); t += 13) {
+    DistanceBounds bounds = index.Query(landmark, t);
+    EXPECT_EQ(bounds.upper, truth[t]);
+    EXPECT_EQ(bounds.lower, truth[t]);
+    EXPECT_TRUE(bounds.exact());
+  }
+}
+
+TEST(LandmarkTest, SameVertexIsZero) {
+  Graph g = Path(10);
+  SerialExecutor serial;
+  LandmarkIndex index = LandmarkIndex::Build(g, &serial,
+                                             {.num_landmarks = 2});
+  DistanceBounds bounds = index.Query(4, 4);
+  EXPECT_EQ(bounds.lower, 0);
+  EXPECT_EQ(bounds.upper, 0);
+}
+
+TEST(LandmarkTest, MoreLandmarksTightenBounds) {
+  Graph g = SocialNetwork({.num_vertices = 4096, .avg_degree = 8.0,
+                           .seed = 44});
+  WorkerPool pool({.num_workers = 2, .pin_threads = false});
+  LandmarkIndex small = LandmarkIndex::Build(g, &pool, {.num_landmarks = 2});
+  LandmarkIndex large = LandmarkIndex::Build(g, &pool,
+                                             {.num_landmarks = 64});
+
+  std::vector<Vertex> queries = PickSources(g, 40, 9);
+  uint64_t small_gap = 0;
+  uint64_t large_gap = 0;
+  int counted = 0;
+  for (size_t i = 0; i + 1 < queries.size(); i += 2) {
+    DistanceBounds a = small.Query(queries[i], queries[i + 1]);
+    DistanceBounds b = large.Query(queries[i], queries[i + 1]);
+    if (a.upper == kLevelUnreached || b.upper == kLevelUnreached) continue;
+    small_gap += a.upper - a.lower;
+    large_gap += b.upper - b.lower;
+    // More landmarks never loosen either bound.
+    EXPECT_LE(b.upper, a.upper);
+    EXPECT_GE(b.lower, a.lower);
+    ++counted;
+  }
+  ASSERT_GT(counted, 10);
+  EXPECT_LE(large_gap, small_gap);
+}
+
+TEST(LandmarkTest, HighDegreeStrategyPicksHubs) {
+  Graph g = Star(100);
+  SerialExecutor serial;
+  LandmarkIndex index = LandmarkIndex::Build(g, &serial,
+                                             {.num_landmarks = 1});
+  ASSERT_EQ(index.num_landmarks(), 1);
+  EXPECT_EQ(index.landmarks()[0], 0u);  // the hub
+  // With the hub as landmark, all leaf-to-leaf distances are exact (2).
+  DistanceBounds bounds = index.Query(5, 60);
+  EXPECT_EQ(bounds.upper, 2);
+}
+
+TEST(LandmarkTest, IndexBytesAccounting) {
+  Graph g = Path(1000);
+  SerialExecutor serial;
+  LandmarkIndex index = LandmarkIndex::Build(g, &serial,
+                                             {.num_landmarks = 4});
+  EXPECT_EQ(index.IndexBytes(), 4u * 1000u * sizeof(Level));
+}
+
+}  // namespace
+}  // namespace pbfs

@@ -1,0 +1,137 @@
+// Cross-cutting behaviours: synthetic-topology pools, per-socket batch
+// mode on multi-node topologies, executor defaults, direction
+// instrumentation, and multi-source iteration semantics.
+
+#include <gtest/gtest.h>
+
+#include "bfs/batch.h"
+#include "bfs/multi_source.h"
+#include "bfs/single_source.h"
+#include "graph/generators.h"
+#include "platform/topology.h"
+#include "sched/worker_pool.h"
+#include "test_util.h"
+
+namespace pbfs {
+namespace {
+
+TEST(SyntheticTopologyPoolTest, ExplicitCpuListControlsNodeMapping) {
+  Topology topo = Topology::Synthetic(2, 4);  // cpus 0-3 node 0, 4-7 node 1
+  WorkerPool::Options options;
+  options.num_workers = 4;
+  options.pin_threads = false;
+  options.topology = &topo;
+  options.cpus = {6, 7, 0, 5};  // node 1, 1, 0, 1
+  WorkerPool pool(options);
+  EXPECT_EQ(pool.NodeOfWorker(0), 1);
+  EXPECT_EQ(pool.NodeOfWorker(1), 1);
+  EXPECT_EQ(pool.NodeOfWorker(2), 0);
+  EXPECT_EQ(pool.NodeOfWorker(3), 1);
+  EXPECT_EQ(pool.num_nodes(), 2);
+}
+
+TEST(SyntheticTopologyPoolTest, AutoAssignmentFillsNodesInOrder) {
+  Topology topo = Topology::Synthetic(3, 2);
+  WorkerPool pool({.num_workers = 5, .pin_threads = false,
+                   .topology = &topo});
+  EXPECT_EQ(pool.NodeOfWorker(0), 0);
+  EXPECT_EQ(pool.NodeOfWorker(1), 0);
+  EXPECT_EQ(pool.NodeOfWorker(2), 1);
+  EXPECT_EQ(pool.NodeOfWorker(3), 1);
+  EXPECT_EQ(pool.NodeOfWorker(4), 2);
+}
+
+TEST(BatchTest, OnePerSocketOnSyntheticMultiNodeTopology) {
+  // Exercises the per-socket pool construction with a real multi-node
+  // topology: two instances, each confined to one node's CPUs.
+  Topology topo = Topology::Synthetic(2, 2);
+  Graph g = SocialNetwork({.num_vertices = 1024, .avg_degree = 8.0,
+                           .seed = 3});
+  ComponentInfo components = ComputeComponents(g);
+  std::vector<Vertex> sources = PickSources(g, 32, 5);
+
+  BatchOptions options;
+  options.num_threads = 4;
+  options.batch_size = 8;
+  options.pin_threads = false;
+  options.topology = &topo;
+  BatchReport report = RunMultiSourceBatches(
+      g, sources, BatchMode::kOnePerSocket, options, &components);
+  uint64_t expected = 0;
+  for (Vertex s : sources) {
+    expected += components.vertex_count[components.component_of[s]];
+  }
+  EXPECT_EQ(report.total_visits, expected);
+  EXPECT_EQ(report.threads_used, 4);
+  // Two instances worth of state.
+  SerialExecutor serial;
+  EXPECT_EQ(report.state_bytes,
+            2 * MakeMsPbfs(g, 64, &serial)->StateBytes());
+}
+
+TEST(BatchTest, SocketCountClampedToThreads) {
+  Graph g = Grid(20, 20);
+  std::vector<Vertex> sources = PickSources(g, 8, 1);
+  BatchOptions options;
+  options.num_threads = 2;
+  options.num_sockets = 16;  // more sockets than threads
+  options.pin_threads = false;
+  BatchReport report = RunMultiSourceBatches(
+      g, sources, BatchMode::kOnePerSocket, options, nullptr);
+  EXPECT_EQ(report.threads_used, 2);
+  EXPECT_EQ(report.total_visits, 8u * 400u);
+}
+
+TEST(ExecutorTest, SerialFirstTouchForDefaultsToParallelFor) {
+  SerialExecutor serial;
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+  serial.FirstTouchFor(100, 40, [&](int worker, uint64_t b, uint64_t e) {
+    EXPECT_EQ(worker, 0);
+    ranges.push_back({b, e});
+  });
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[2], (std::pair<uint64_t, uint64_t>{80, 100}));
+}
+
+TEST(InstrumentationTest, BottomUpDirectionRecorded) {
+  Graph g = Star(4096);  // one hub: guaranteed hot second iteration
+  SerialExecutor serial;
+  TraversalStats stats;
+  BfsOptions options;
+  options.stats = &stats;
+  options.alpha = 1e6;  // huge alpha: switch to bottom-up immediately
+  auto bfs = MakeSmsPbfs(g, SmsVariant::kByte, &serial);
+  BfsResult r = bfs->Run(1, options, nullptr);
+  EXPECT_GT(r.bottom_up_iterations, 0);
+  int recorded_bottom_up = 0;
+  for (const TraversalStats::Iteration& iter : stats.iterations()) {
+    if (iter.direction == Direction::kBottomUp) ++recorded_bottom_up;
+  }
+  // Every bottom-up iteration that discovered something is recorded
+  // (the final empty iteration may be either direction).
+  EXPECT_GE(recorded_bottom_up, r.bottom_up_iterations);
+}
+
+TEST(MultiSourceTest, IterationsEqualMaxEccentricityOverBatch) {
+  // A path with sources at one end and the middle: the batch runs until
+  // the farthest BFS finishes.
+  Graph g = Path(101);
+  SerialExecutor serial;
+  auto bfs = MakeMsPbfs(g, 64, &serial);
+  std::vector<Vertex> sources = {0, 50};
+  MsBfsResult r = bfs->Run(sources, BfsOptions{}, nullptr);
+  EXPECT_EQ(r.iterations, 100);  // source 0 reaches vertex 100 last
+  EXPECT_EQ(r.total_visits, 101u * 2);
+}
+
+TEST(QueuePbfsTest, StateBytesIncludeQueues) {
+  Graph g = Path(1000);
+  SerialExecutor serial;
+  auto bfs = MakeSmsPbfs(g, SmsVariant::kQueue, &serial);
+  // Bitmaps (3 * ceil(1000/64) words, page-padded) plus two
+  // 1000-element vertex queues.
+  EXPECT_GE(bfs->StateBytes(), 2u * 1000u * sizeof(Vertex));
+}
+
+}  // namespace
+}  // namespace pbfs

@@ -1,0 +1,62 @@
+#include "graph/numa_placement.h"
+
+#include <gtest/gtest.h>
+
+#include "bfs/single_source.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace pbfs {
+namespace {
+
+void ExpectSameStructure(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_directed_edges(), b.num_directed_edges());
+  for (Vertex v = 0; v < a.num_vertices(); ++v) {
+    auto na = a.Neighbors(v);
+    auto nb = b.Neighbors(v);
+    ASSERT_EQ(na.size(), nb.size()) << "vertex " << v;
+    for (size_t i = 0; i < na.size(); ++i) {
+      ASSERT_EQ(na[i], nb[i]) << "vertex " << v << " slot " << i;
+    }
+  }
+}
+
+TEST(NumaPlacementTest, CloneIsStructurallyIdentical) {
+  Graph g = Kronecker({.scale = 11, .edge_factor = 8, .seed = 13});
+  WorkerPool pool({.num_workers = 4, .pin_threads = false});
+  Graph clone = CloneNumaAware(g, &pool, 512);
+  ExpectSameStructure(g, clone);
+}
+
+TEST(NumaPlacementTest, WorksWithUnevenSplitAndFewVertices) {
+  WorkerPool pool({.num_workers = 3, .pin_threads = false});
+  for (Vertex n : {1u, 2u, 63u, 100u}) {
+    Graph g = Path(n);
+    Graph clone = CloneNumaAware(g, &pool, 7);
+    ExpectSameStructure(g, clone);
+  }
+}
+
+TEST(NumaPlacementTest, EmptyGraph) {
+  WorkerPool pool({.num_workers = 2, .pin_threads = false});
+  Graph g = Graph::FromEdges(0, {});
+  Graph clone = CloneNumaAware(g, &pool, 64);
+  EXPECT_EQ(clone.num_vertices(), 0u);
+  EXPECT_EQ(clone.num_edges(), 0u);
+}
+
+TEST(NumaPlacementTest, BfsOnCloneMatchesOriginal) {
+  Graph g = SocialNetwork({.num_vertices = 2048, .avg_degree = 10.0,
+                           .seed = 31});
+  WorkerPool pool({.num_workers = 4, .pin_threads = false});
+  Graph clone = CloneNumaAware(g, &pool, 1024);
+  auto bfs = MakeSmsPbfs(clone, SmsVariant::kBit, &pool);
+  std::vector<Level> expected = testing_util::ReferenceLevels(g, 5);
+  std::vector<Level> got(clone.num_vertices());
+  bfs->Run(5, BfsOptions{}, got.data());
+  EXPECT_EQ(testing_util::FirstLevelMismatch(expected, got), -1);
+}
+
+}  // namespace
+}  // namespace pbfs

@@ -1,0 +1,65 @@
+#include "graph/parallel_build.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "sched/worker_pool.h"
+
+namespace pbfs {
+namespace {
+
+void ExpectSameGraph(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_directed_edges(), b.num_directed_edges());
+  for (Vertex v = 0; v < a.num_vertices(); ++v) {
+    auto na = a.Neighbors(v);
+    auto nb = b.Neighbors(v);
+    ASSERT_EQ(na.size(), nb.size()) << "vertex " << v;
+    for (size_t i = 0; i < na.size(); ++i) {
+      ASSERT_EQ(na[i], nb[i]) << "vertex " << v << " slot " << i;
+    }
+  }
+}
+
+class ParallelBuildTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelBuildTest, MatchesSequentialBuilder) {
+  WorkerPool pool({.num_workers = GetParam(), .pin_threads = false});
+  struct Case {
+    const char* name;
+    Vertex n;
+    std::vector<Edge> edges;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"empty", 0, {}});
+  cases.push_back({"isolated", 5, {}});
+  cases.push_back({"loops_and_dups",
+                   4,
+                   {{0, 0}, {0, 1}, {1, 0}, {0, 1}, {2, 3}, {3, 3}}});
+  cases.push_back({"kron", 1 << 12,
+                   KroneckerEdges({.scale = 12, .edge_factor = 8,
+                                   .seed = 19})});
+  cases.push_back({"social", 4096,
+                   SocialNetworkEdges({.num_vertices = 4096,
+                                       .avg_degree = 12.0, .seed = 23})});
+  for (const Case& c : cases) {
+    Graph sequential = Graph::FromEdges(c.n, c.edges);
+    Graph parallel = BuildGraphParallel(c.n, c.edges, &pool);
+    SCOPED_TRACE(c.name);
+    ExpectSameGraph(sequential, parallel);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ParallelBuildTest,
+                         ::testing::Values(1, 2, 4, 7));
+
+TEST(ParallelBuildTest, SerialExecutorWorksToo) {
+  SerialExecutor serial;
+  std::vector<Edge> edges = ErdosRenyiEdges(1000, 5000, 3);
+  Graph sequential = Graph::FromEdges(1000, edges);
+  Graph parallel = BuildGraphParallel(1000, edges, &serial);
+  ExpectSameGraph(sequential, parallel);
+}
+
+}  // namespace
+}  // namespace pbfs

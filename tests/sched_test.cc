@@ -1,0 +1,316 @@
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "platform/cpulist.h"
+#include "platform/topology.h"
+#include "sched/executor.h"
+#include "sched/numa_layout.h"
+#include "sched/task_queues.h"
+#include "sched/worker_pool.h"
+
+namespace pbfs {
+namespace {
+
+TEST(TaskQueuesTest, SingleWorkerDrainsEverythingOnce) {
+  TaskQueues queues(1);
+  queues.Reset(100, 16);
+  EXPECT_EQ(queues.num_tasks(), 7u);  // ceil(100/16)
+  int cursor = 0;
+  std::vector<bool> covered(100, false);
+  for (;;) {
+    TaskRange r = queues.Fetch(0, &cursor);
+    if (r.empty()) break;
+    for (uint64_t v = r.begin; v < r.end; ++v) {
+      EXPECT_FALSE(covered[v]);
+      covered[v] = true;
+    }
+  }
+  for (bool c : covered) EXPECT_TRUE(c);
+}
+
+TEST(TaskQueuesTest, RoundRobinDealingAcrossQueues) {
+  // 4 workers, 10 tasks of 8 over [0,80): worker w owns tasks w, w+4, ...
+  TaskQueues queues(4);
+  queues.Reset(80, 8);
+  int cursor = 0;
+  // Worker 2 fetching with nobody else active: first its own tasks
+  // (2, 6), then steals from queue 3 (3, 7), queue 0 (0, 4, 8), ...
+  TaskRange r = queues.Fetch(2, &cursor);
+  EXPECT_EQ(r.begin, 16u);  // task 2
+  r = queues.Fetch(2, &cursor);
+  EXPECT_EQ(r.begin, 48u);  // task 6
+  r = queues.Fetch(2, &cursor);
+  EXPECT_EQ(r.begin, 24u);  // stolen task 3
+}
+
+TEST(TaskQueuesTest, LastTaskTruncated) {
+  TaskQueues queues(2);
+  queues.Reset(100, 64);
+  int cursor = 0;
+  TaskRange a = queues.Fetch(0, &cursor);
+  EXPECT_EQ(a.begin, 0u);
+  EXPECT_EQ(a.end, 64u);
+  int cursor1 = 0;
+  TaskRange b = queues.Fetch(1, &cursor1);
+  EXPECT_EQ(b.begin, 64u);
+  EXPECT_EQ(b.end, 100u);
+}
+
+TEST(TaskQueuesTest, ConcurrentFetchCoversAllExactlyOnce) {
+  const int kWorkers = 8;
+  const uint64_t kTotal = 100000;
+  TaskQueues queues(kWorkers);
+  queues.Reset(kTotal, 64);
+  std::vector<std::atomic<uint8_t>> hits(kTotal);
+  for (auto& h : hits) h.store(0);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      int cursor = 0;
+      for (;;) {
+        TaskRange r = queues.Fetch(w, &cursor);
+        if (r.empty()) break;
+        for (uint64_t v = r.begin; v < r.end; ++v) {
+          hits[v].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (uint64_t v = 0; v < kTotal; ++v) {
+    ASSERT_EQ(hits[v].load(), 1u) << "vertex " << v;
+  }
+}
+
+TEST(TaskQueuesTest, ResetReuses) {
+  TaskQueues queues(2);
+  for (int round = 0; round < 3; ++round) {
+    queues.Reset(64, 16);
+    uint64_t seen = 0;
+    for (int w = 0; w < 2; ++w) {
+      int cursor = 0;
+      for (;;) {
+        TaskRange r = queues.Fetch(w, &cursor);
+        if (r.empty()) break;
+        seen += r.size();
+      }
+    }
+    EXPECT_EQ(seen, 64u);
+  }
+}
+
+TEST(SerialExecutorTest, HonorsTaskGranularity) {
+  SerialExecutor exec;
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+  exec.ParallelFor(100, 30, [&](int worker, uint64_t b, uint64_t e) {
+    EXPECT_EQ(worker, 0);
+    ranges.push_back({b, e});
+  });
+  ASSERT_EQ(ranges.size(), 4u);
+  EXPECT_EQ(ranges[3], (std::pair<uint64_t, uint64_t>{90, 100}));
+}
+
+class WorkerPoolTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkerPoolTest, ParallelForCoversAllExactlyOnce) {
+  WorkerPool pool({.num_workers = GetParam(), .pin_threads = false});
+  const uint64_t kTotal = 54321;
+  std::vector<std::atomic<uint8_t>> hits(kTotal);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(kTotal, 100, [&](int, uint64_t b, uint64_t e) {
+    for (uint64_t v = b; v < e; ++v) {
+      hits[v].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (uint64_t v = 0; v < kTotal; ++v) ASSERT_EQ(hits[v].load(), 1u);
+}
+
+TEST_P(WorkerPoolTest, ParallelForStaticCoversAllWithAlignedBorders) {
+  WorkerPool pool({.num_workers = GetParam(), .pin_threads = false});
+  const uint64_t kTotal = 12345;
+  std::vector<std::atomic<uint8_t>> hits(kTotal);
+  for (auto& h : hits) h.store(0);
+  std::mutex mu;
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+  pool.ParallelForStatic(kTotal, [&](int, uint64_t b, uint64_t e) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ranges.push_back({b, e});
+    }
+    for (uint64_t v = b; v < e; ++v) {
+      hits[v].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (uint64_t v = 0; v < kTotal; ++v) ASSERT_EQ(hits[v].load(), 1u);
+  for (const auto& [b, e] : ranges) {
+    EXPECT_EQ(b % 64, 0u);  // word-aligned interior borders
+    if (e != kTotal) {
+      EXPECT_EQ(e % 64, 0u);
+    }
+  }
+}
+
+TEST_P(WorkerPoolTest, FirstTouchForAssignsTasksToOwners) {
+  const int workers = GetParam();
+  WorkerPool pool({.num_workers = workers, .pin_threads = false});
+  const uint64_t kTotal = 10000;
+  const uint32_t kSplit = 128;
+  std::vector<std::atomic<int>> owner((kTotal + kSplit - 1) / kSplit);
+  for (auto& o : owner) o.store(-1);
+  pool.FirstTouchFor(kTotal, kSplit, [&](int w, uint64_t b, uint64_t e) {
+    EXPECT_EQ(b % kSplit, 0u);
+    EXPECT_LE(e, kTotal);
+    owner[b / kSplit].store(w);
+  });
+  for (size_t task = 0; task < owner.size(); ++task) {
+    EXPECT_EQ(owner[task].load(), static_cast<int>(task % workers));
+  }
+}
+
+TEST_P(WorkerPoolTest, RunOnWorkersRunsEachWorkerOnce) {
+  const int workers = GetParam();
+  WorkerPool pool({.num_workers = workers, .pin_threads = false});
+  std::vector<std::atomic<int>> counts(workers);
+  for (auto& c : counts) c.store(0);
+  pool.RunOnWorkers([&](int w) { counts[w].fetch_add(1); });
+  for (int w = 0; w < workers; ++w) EXPECT_EQ(counts[w].load(), 1);
+}
+
+TEST_P(WorkerPoolTest, ReusableAcrossManyLoops) {
+  WorkerPool pool({.num_workers = GetParam(), .pin_threads = false});
+  std::atomic<uint64_t> sum{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.ParallelFor(1000, 64, [&](int, uint64_t b, uint64_t e) {
+      sum.fetch_add(e - b, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 20000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, WorkerPoolTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(WorkerPoolTest, SchedulerStatsCountEveryTask) {
+  WorkerPool pool({.num_workers = 4, .pin_threads = false});
+  pool.ResetSchedulerStats();
+  pool.ParallelFor(1000, 10, [](int, uint64_t, uint64_t) {});
+  WorkerPool::SchedulerStats stats = pool.scheduler_stats();
+  EXPECT_EQ(stats.local_tasks + stats.stolen_tasks, 100u);
+  pool.ResetSchedulerStats();
+  stats = pool.scheduler_stats();
+  EXPECT_EQ(stats.local_tasks, 0u);
+  EXPECT_EQ(stats.stolen_tasks, 0u);
+  EXPECT_DOUBLE_EQ(stats.StealFraction(), 0.0);
+}
+
+TEST(WorkerPoolTest, SingleWorkerNeverSteals) {
+  WorkerPool pool({.num_workers = 1, .pin_threads = false});
+  pool.ParallelFor(640, 64, [](int, uint64_t, uint64_t) {});
+  WorkerPool::SchedulerStats stats = pool.scheduler_stats();
+  EXPECT_EQ(stats.local_tasks, 10u);
+  EXPECT_EQ(stats.stolen_tasks, 0u);
+}
+
+TEST(WorkerPoolTest, EmptyLoopIsNoop) {
+  WorkerPool pool({.num_workers = 2, .pin_threads = false});
+  bool called = false;
+  pool.ParallelFor(0, 64, [&](int, uint64_t, uint64_t) { called = true; });
+  pool.ParallelForStatic(0, [&](int, uint64_t, uint64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(CpuListTest, ParsesRangesAndSingles) {
+  EXPECT_EQ(ParseCpuList("0-3,8,10-11"),
+            (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+  EXPECT_EQ(ParseCpuList("5"), (std::vector<int>{5}));
+  EXPECT_EQ(ParseCpuList("0-0"), (std::vector<int>{0}));
+  EXPECT_EQ(ParseCpuList("0-2\n"), (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(ParseCpuList("").empty());
+  EXPECT_TRUE(ParseCpuList("\n").empty());
+}
+
+TEST(TopologyTest, DetectNeverFails) {
+  Topology topo = Topology::Detect();
+  EXPECT_GE(topo.num_nodes(), 1);
+  EXPECT_GE(topo.num_cpus(), 1);
+}
+
+TEST(TopologyTest, SyntheticShape) {
+  Topology topo = Topology::Synthetic(4, 15);
+  EXPECT_EQ(topo.num_nodes(), 4);
+  EXPECT_EQ(topo.num_cpus(), 60);
+  EXPECT_EQ(topo.NodeOfCpu(0), 0);
+  EXPECT_EQ(topo.NodeOfCpu(14), 0);
+  EXPECT_EQ(topo.NodeOfCpu(15), 1);
+  EXPECT_EQ(topo.NodeOfCpu(59), 3);
+  EXPECT_EQ(topo.CpusOfNode(2).front(), 30);
+}
+
+TEST(TopologyTest, WorkersFillSocketsInOrder) {
+  Topology topo = Topology::Synthetic(4, 15);
+  std::vector<int> nodes = topo.AssignWorkersToNodes(31);
+  EXPECT_EQ(nodes[0], 0);
+  EXPECT_EQ(nodes[14], 0);
+  EXPECT_EQ(nodes[15], 1);
+  EXPECT_EQ(nodes[30], 2);
+}
+
+TEST(TopologyTest, OversubscriptionWrapsAround) {
+  Topology topo = Topology::Synthetic(2, 2);
+  std::vector<int> cpus = topo.AssignWorkersToCpus(10);
+  EXPECT_EQ(cpus[0], cpus[4]);
+  EXPECT_EQ(cpus[3], cpus[7]);
+}
+
+TEST(NumaLayoutTest, PageAlignedSplitSize) {
+  // 64-bit bitsets: 512 vertices per 4 KiB page (the paper's example).
+  EXPECT_EQ(PageAlignedSplitSize(256, 8), 512u);
+  EXPECT_EQ(PageAlignedSplitSize(512, 8), 512u);
+  EXPECT_EQ(PageAlignedSplitSize(513, 8), 1024u);
+  // 512-bit bitsets: 64 vertices per page.
+  EXPECT_EQ(PageAlignedSplitSize(256, 64), 256u);
+  EXPECT_EQ(PageAlignedSplitSize(300, 64), 320u);
+  // Byte state: 4096 vertices per page.
+  EXPECT_EQ(PageAlignedSplitSize(1024, 1), 4096u);
+  // State larger than a page: desired size kept.
+  EXPECT_EQ(PageAlignedSplitSize(100, 8192), 100u);
+}
+
+TEST(NumaLayoutTest, OwnerOfTask) {
+  EXPECT_EQ(OwnerOfTask(0, 4), 0);
+  EXPECT_EQ(OwnerOfTask(5, 4), 1);
+  EXPECT_EQ(OwnerOfTask(7, 4), 3);
+}
+
+TEST(NumaLayoutTest, MemorySharesProportionalToWorkers) {
+  Topology topo = Topology::Synthetic(2, 4);
+  // 8 workers on node 0's CPUs + 2 on node 1's: shares 0.8 / 0.2, the
+  // example from Section 4.4.
+  WorkerPool pool({.num_workers = 10, .pin_threads = false,
+                   .topology = &topo});
+  // Workers fill node 0's 4 CPUs, then node 1's 4, then wrap to node 0.
+  std::vector<double> shares = NodeMemoryShares(pool);
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_NEAR(shares[0] + shares[1], 1.0, 1e-9);
+  EXPECT_GT(shares[0], shares[1]);
+}
+
+TEST(StaticExecutorTest, DelegatesToStaticPartitioning) {
+  WorkerPool pool({.num_workers = 3, .pin_threads = false});
+  StaticExecutor exec(&pool);
+  EXPECT_EQ(exec.num_workers(), 3);
+  std::atomic<int> ranges{0};
+  exec.ParallelFor(1000, 10, [&](int, uint64_t, uint64_t) {
+    ranges.fetch_add(1);
+  });
+  // Static partitioning: exactly one contiguous range per worker.
+  EXPECT_EQ(ranges.load(), 3);
+}
+
+}  // namespace
+}  // namespace pbfs

@@ -1,0 +1,43 @@
+// Shared helpers for the pbfs test suite.
+#ifndef PBFS_TESTS_TEST_UTIL_H_
+#define PBFS_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "bfs/common.h"
+#include "bfs/sequential.h"
+#include "graph/graph.h"
+
+namespace pbfs {
+namespace testing_util {
+
+// Reference distances from `source` computed by the textbook BFS.
+inline std::vector<Level> ReferenceLevels(const Graph& graph, Vertex source) {
+  std::vector<Level> levels(graph.num_vertices());
+  SequentialBfs(graph, source, levels.data());
+  return levels;
+}
+
+// Number of vertices reachable from `source` (including itself).
+inline uint64_t ReachableCount(const Graph& graph, Vertex source) {
+  uint64_t count = 0;
+  for (Level l : ReferenceLevels(graph, source)) {
+    if (l != kLevelUnreached) ++count;
+  }
+  return count;
+}
+
+// First index where two level arrays differ, or -1.
+inline int64_t FirstLevelMismatch(const std::vector<Level>& a,
+                                  const std::vector<Level>& b) {
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    if (a[i] != b[i]) return static_cast<int64_t>(i);
+  }
+  return a.size() == b.size() ? -1 : static_cast<int64_t>(a.size());
+}
+
+}  // namespace testing_util
+}  // namespace pbfs
+
+#endif  // PBFS_TESTS_TEST_UTIL_H_

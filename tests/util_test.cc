@@ -1,0 +1,188 @@
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/aligned_buffer.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace pbfs {
+namespace {
+
+TEST(AlignedBufferTest, PageAlignedAllocation) {
+  AlignedBuffer<uint8_t> buf(100);
+  ASSERT_NE(buf.data(), nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) % kPageSize, 0u);
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_EQ(buf.size_bytes(), 100u);
+}
+
+TEST(AlignedBufferTest, FillZeroAndIndexing) {
+  AlignedBuffer<uint32_t> buf(1000);
+  buf.FillZero();
+  for (size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0u);
+  buf[7] = 42;
+  EXPECT_EQ(buf[7], 42u);
+}
+
+TEST(AlignedBufferTest, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(10);
+  a.FillZero();
+  a[3] = 5;
+  int* data = a.data();
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), data);
+  EXPECT_EQ(b[3], 5);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_EQ(a.size(), 0u);
+
+  AlignedBuffer<int> c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), data);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(AlignedBufferTest, EmptyBuffer) {
+  AlignedBuffer<double> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+  buf.Reset(0);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(AlignedBufferTest, CustomAlignment) {
+  AlignedBuffer<uint8_t> buf(10, kCacheLineSize);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) % kCacheLineSize, 0u);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SplitMix64Test, KnownAvalanche) {
+  // Nearby inputs should map to very different outputs.
+  EXPECT_NE(SplitMix64(0), SplitMix64(1));
+  EXPECT_NE(SplitMix64(0) >> 32, SplitMix64(1) >> 32);
+}
+
+TEST(StatsTest, SummarizeBasics) {
+  SampleSummary s = Summarize({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 1.0);
+}
+
+TEST(StatsTest, SummarizeEvenCountMedian) {
+  SampleSummary s = Summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(StatsTest, SummarizeSingleElement) {
+  SampleSummary s = Summarize({5.0});
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+}
+
+TEST(StatsTest, SkewRatio) {
+  EXPECT_DOUBLE_EQ(SkewRatio({2.0, 4.0, 8.0}), 4.0);
+  EXPECT_DOUBLE_EQ(SkewRatio({5.0}), 1.0);
+  EXPECT_DOUBLE_EQ(SkewRatio({}), 1.0);
+  // Zero / negative entries (idle workers) are ignored.
+  EXPECT_DOUBLE_EQ(SkewRatio({0.0, 3.0, 6.0}), 2.0);
+  EXPECT_DOUBLE_EQ(SkewRatio({0.0, 0.0}), 1.0);
+}
+
+TEST(TimerTest, MonotonicElapsed) {
+  Timer t;
+  int64_t a = t.ElapsedNanos();
+  int64_t b = t.ElapsedNanos();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+  t.Restart();
+  EXPECT_GE(t.ElapsedNanos(), 0);
+}
+
+TEST(FlagsTest, ParsesAllKinds) {
+  int64_t scale = 16;
+  double alpha = 15.0;
+  bool verbose = false;
+  std::string name = "default";
+  FlagParser parser("test");
+  parser.AddInt64("scale", &scale, "graph scale");
+  parser.AddDouble("alpha", &alpha, "heuristic alpha");
+  parser.AddBool("verbose", &verbose, "verbosity");
+  parser.AddString("name", &name, "a name");
+
+  const char* argv[] = {"prog",           "--scale=20",  "--alpha", "7.5",
+                        "--verbose",      "--name=kron"};
+  parser.Parse(6, const_cast<char**>(argv));
+  EXPECT_EQ(scale, 20);
+  EXPECT_DOUBLE_EQ(alpha, 7.5);
+  EXPECT_TRUE(verbose);
+  EXPECT_EQ(name, "kron");
+}
+
+TEST(FlagsTest, NegatedBool) {
+  bool pin = true;
+  FlagParser parser("test");
+  parser.AddBool("pin", &pin, "pinning");
+  const char* argv[] = {"prog", "--nopin"};
+  parser.Parse(2, const_cast<char**>(argv));
+  EXPECT_FALSE(pin);
+}
+
+TEST(FlagsTest, BoolExplicitFalse) {
+  bool pin = true;
+  FlagParser parser("test");
+  parser.AddBool("pin", &pin, "pinning");
+  const char* argv[] = {"prog", "--pin=false"};
+  parser.Parse(2, const_cast<char**>(argv));
+  EXPECT_FALSE(pin);
+}
+
+}  // namespace
+}  // namespace pbfs

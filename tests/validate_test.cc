@@ -1,0 +1,88 @@
+#include "bfs/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "bfs/sequential.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace pbfs {
+namespace {
+
+TEST(ValidateTest, AcceptsCorrectLevels) {
+  Graph graphs[] = {Path(50), Grid(8, 9), Star(33),
+                    Kronecker({.scale = 8, .edge_factor = 8, .seed = 3})};
+  for (const Graph& g : graphs) {
+    ComponentInfo components = ComputeComponents(g);
+    std::vector<Level> levels = testing_util::ReferenceLevels(g, 0);
+    std::string error;
+    EXPECT_TRUE(ValidateLevels(g, 0, levels.data(), &components, &error))
+        << error;
+  }
+}
+
+TEST(ValidateTest, RejectsWrongSourceLevel) {
+  Graph g = Path(10);
+  std::vector<Level> levels = testing_util::ReferenceLevels(g, 0);
+  levels[0] = 1;
+  std::string error;
+  EXPECT_FALSE(ValidateLevels(g, 0, levels.data(), nullptr, &error));
+  EXPECT_NE(error.find("source"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsSecondLevelZero) {
+  Graph g = Path(10);
+  std::vector<Level> levels = testing_util::ReferenceLevels(g, 0);
+  levels[5] = 0;
+  EXPECT_FALSE(ValidateLevels(g, 0, levels.data(), nullptr, nullptr));
+}
+
+TEST(ValidateTest, RejectsLevelGapAcrossEdge) {
+  Graph g = Path(10);
+  std::vector<Level> levels = testing_util::ReferenceLevels(g, 0);
+  levels[9] = 12;  // neighbor 8 has level 8 -> gap of 4
+  EXPECT_FALSE(ValidateLevels(g, 0, levels.data(), nullptr, nullptr));
+}
+
+TEST(ValidateTest, RejectsOrphanLevel) {
+  // A vertex whose level has no parent one level closer.
+  Graph g = Cycle(8);
+  std::vector<Level> levels = testing_util::ReferenceLevels(g, 0);
+  // Make vertices 3 and 4 both level 9 (consistent across their edge but
+  // without a parent at level 8).
+  levels[3] = 9;
+  levels[4] = 9;
+  EXPECT_FALSE(ValidateLevels(g, 0, levels.data(), nullptr, nullptr));
+}
+
+TEST(ValidateTest, RejectsUnreachedNeighborOfReached) {
+  Graph g = Path(5);
+  std::vector<Level> levels = testing_util::ReferenceLevels(g, 0);
+  levels[4] = kLevelUnreached;
+  EXPECT_FALSE(ValidateLevels(g, 0, levels.data(), nullptr, nullptr));
+}
+
+TEST(ValidateTest, RejectsReachabilityComponentMismatch) {
+  // Two components; mark a vertex of the other component as reached with
+  // a consistent-looking level. Catchable only via component info.
+  std::vector<Edge> edges = {{0, 1}, {2, 3}};
+  Graph g = Graph::FromEdges(4, edges);
+  ComponentInfo components = ComputeComponents(g);
+  std::vector<Level> levels = testing_util::ReferenceLevels(g, 0);
+  EXPECT_TRUE(ValidateLevels(g, 0, levels.data(), &components, nullptr));
+  levels[2] = 5;
+  levels[3] = 6;
+  EXPECT_FALSE(ValidateLevels(g, 0, levels.data(), &components, nullptr));
+}
+
+TEST(ValidateTest, IsolatedSourceIsValid) {
+  Graph g = Graph::FromEdges(3, std::vector<Edge>{{1, 2}});
+  ComponentInfo components = ComputeComponents(g);
+  std::vector<Level> levels = testing_util::ReferenceLevels(g, 0);
+  std::string error;
+  EXPECT_TRUE(ValidateLevels(g, 0, levels.data(), &components, &error))
+      << error;
+}
+
+}  // namespace
+}  // namespace pbfs
