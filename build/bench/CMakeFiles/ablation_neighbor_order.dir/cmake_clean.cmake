@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_neighbor_order.dir/ablation_neighbor_order.cc.o"
+  "CMakeFiles/ablation_neighbor_order.dir/ablation_neighbor_order.cc.o.d"
+  "ablation_neighbor_order"
+  "ablation_neighbor_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_neighbor_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_queue_vs_array.dir/ablation_queue_vs_array.cc.o"
+  "CMakeFiles/ablation_queue_vs_array.dir/ablation_queue_vs_array.cc.o.d"
+  "ablation_queue_vs_array"
+  "ablation_queue_vs_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_queue_vs_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_queue_vs_array.
+# This may be replaced when dependencies are built.

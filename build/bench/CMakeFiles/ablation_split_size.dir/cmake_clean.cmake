@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_split_size.dir/ablation_split_size.cc.o"
+  "CMakeFiles/ablation_split_size.dir/ablation_split_size.cc.o.d"
+  "ablation_split_size"
+  "ablation_split_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_split_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparator_jfq.dir/comparator_jfq.cc.o"
+  "CMakeFiles/comparator_jfq.dir/comparator_jfq.cc.o.d"
+  "comparator_jfq"
+  "comparator_jfq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparator_jfq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

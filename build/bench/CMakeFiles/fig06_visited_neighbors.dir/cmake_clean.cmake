@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_visited_neighbors.dir/fig06_visited_neighbors.cc.o"
+  "CMakeFiles/fig06_visited_neighbors.dir/fig06_visited_neighbors.cc.o.d"
+  "fig06_visited_neighbors"
+  "fig06_visited_neighbors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_visited_neighbors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_updated_states.dir/fig07_updated_states.cc.o"
+  "CMakeFiles/fig07_updated_states.dir/fig07_updated_states.cc.o.d"
+  "fig07_updated_states"
+  "fig07_updated_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_updated_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

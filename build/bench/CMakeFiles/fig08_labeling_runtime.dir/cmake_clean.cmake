@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_labeling_runtime.dir/fig08_labeling_runtime.cc.o"
+  "CMakeFiles/fig08_labeling_runtime.dir/fig08_labeling_runtime.cc.o.d"
+  "fig08_labeling_runtime"
+  "fig08_labeling_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_labeling_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

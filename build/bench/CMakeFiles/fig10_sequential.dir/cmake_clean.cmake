@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sequential.dir/fig10_sequential.cc.o"
+  "CMakeFiles/fig10_sequential.dir/fig10_sequential.cc.o.d"
+  "fig10_sequential"
+  "fig10_sequential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_steals.dir/sched_steals.cc.o"
+  "CMakeFiles/sched_steals.dir/sched_steals.cc.o.d"
+  "sched_steals"
+  "sched_steals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_steals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

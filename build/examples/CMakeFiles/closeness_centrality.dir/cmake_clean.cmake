@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closeness_centrality.dir/closeness_centrality.cpp.o"
+  "CMakeFiles/closeness_centrality.dir/closeness_centrality.cpp.o.d"
+  "closeness_centrality"
+  "closeness_centrality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closeness_centrality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_analyzer.dir/graph_analyzer.cpp.o"
+  "CMakeFiles/graph_analyzer.dir/graph_analyzer.cpp.o.d"
+  "graph_analyzer"
+  "graph_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

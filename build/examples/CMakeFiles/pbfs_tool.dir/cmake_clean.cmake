@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbfs_tool.dir/pbfs_tool.cpp.o"
+  "CMakeFiles/pbfs_tool.dir/pbfs_tool.cpp.o.d"
+  "pbfs_tool"
+  "pbfs_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbfs_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

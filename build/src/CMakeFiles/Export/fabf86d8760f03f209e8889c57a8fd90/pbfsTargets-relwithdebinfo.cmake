@@ -1,0 +1,19 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "pbfs::pbfs" for configuration "RelWithDebInfo"
+set_property(TARGET pbfs::pbfs APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(pbfs::pbfs PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpbfs.a"
+  )
+
+list(APPEND _cmake_import_check_targets pbfs::pbfs )
+list(APPEND _cmake_import_check_files_for_pbfs::pbfs "${_IMPORT_PREFIX}/lib/libpbfs.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

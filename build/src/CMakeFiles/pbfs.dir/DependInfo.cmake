@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/betweenness.cc" "src/CMakeFiles/pbfs.dir/algorithms/betweenness.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/algorithms/betweenness.cc.o.d"
+  "/root/repo/src/algorithms/bfs_components.cc" "src/CMakeFiles/pbfs.dir/algorithms/bfs_components.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/algorithms/bfs_components.cc.o.d"
+  "/root/repo/src/algorithms/closeness.cc" "src/CMakeFiles/pbfs.dir/algorithms/closeness.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/algorithms/closeness.cc.o.d"
+  "/root/repo/src/algorithms/eccentricity.cc" "src/CMakeFiles/pbfs.dir/algorithms/eccentricity.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/algorithms/eccentricity.cc.o.d"
+  "/root/repo/src/algorithms/khop.cc" "src/CMakeFiles/pbfs.dir/algorithms/khop.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/algorithms/khop.cc.o.d"
+  "/root/repo/src/algorithms/landmarks.cc" "src/CMakeFiles/pbfs.dir/algorithms/landmarks.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/algorithms/landmarks.cc.o.d"
+  "/root/repo/src/algorithms/parents.cc" "src/CMakeFiles/pbfs.dir/algorithms/parents.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/algorithms/parents.cc.o.d"
+  "/root/repo/src/bfs/batch.cc" "src/CMakeFiles/pbfs.dir/bfs/batch.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/bfs/batch.cc.o.d"
+  "/root/repo/src/bfs/beamer.cc" "src/CMakeFiles/pbfs.dir/bfs/beamer.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/bfs/beamer.cc.o.d"
+  "/root/repo/src/bfs/jfq_msbfs.cc" "src/CMakeFiles/pbfs.dir/bfs/jfq_msbfs.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/bfs/jfq_msbfs.cc.o.d"
+  "/root/repo/src/bfs/msbfs.cc" "src/CMakeFiles/pbfs.dir/bfs/msbfs.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/bfs/msbfs.cc.o.d"
+  "/root/repo/src/bfs/mspbfs.cc" "src/CMakeFiles/pbfs.dir/bfs/mspbfs.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/bfs/mspbfs.cc.o.d"
+  "/root/repo/src/bfs/queue_pbfs.cc" "src/CMakeFiles/pbfs.dir/bfs/queue_pbfs.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/bfs/queue_pbfs.cc.o.d"
+  "/root/repo/src/bfs/sequential.cc" "src/CMakeFiles/pbfs.dir/bfs/sequential.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/bfs/sequential.cc.o.d"
+  "/root/repo/src/bfs/smspbfs.cc" "src/CMakeFiles/pbfs.dir/bfs/smspbfs.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/bfs/smspbfs.cc.o.d"
+  "/root/repo/src/bfs/validate.cc" "src/CMakeFiles/pbfs.dir/bfs/validate.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/bfs/validate.cc.o.d"
+  "/root/repo/src/graph/components.cc" "src/CMakeFiles/pbfs.dir/graph/components.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/graph/components.cc.o.d"
+  "/root/repo/src/graph/degree_stats.cc" "src/CMakeFiles/pbfs.dir/graph/degree_stats.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/graph/degree_stats.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/pbfs.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/pbfs.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/pbfs.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/labeling.cc" "src/CMakeFiles/pbfs.dir/graph/labeling.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/graph/labeling.cc.o.d"
+  "/root/repo/src/graph/numa_placement.cc" "src/CMakeFiles/pbfs.dir/graph/numa_placement.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/graph/numa_placement.cc.o.d"
+  "/root/repo/src/graph/parallel_build.cc" "src/CMakeFiles/pbfs.dir/graph/parallel_build.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/graph/parallel_build.cc.o.d"
+  "/root/repo/src/platform/thread_pin.cc" "src/CMakeFiles/pbfs.dir/platform/thread_pin.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/platform/thread_pin.cc.o.d"
+  "/root/repo/src/platform/topology.cc" "src/CMakeFiles/pbfs.dir/platform/topology.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/platform/topology.cc.o.d"
+  "/root/repo/src/sched/worker_pool.cc" "src/CMakeFiles/pbfs.dir/sched/worker_pool.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/sched/worker_pool.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/pbfs.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/pbfs.dir/util/flags.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

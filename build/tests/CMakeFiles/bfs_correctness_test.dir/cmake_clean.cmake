@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfs_correctness_test.dir/bfs_correctness_test.cc.o"
+  "CMakeFiles/bfs_correctness_test.dir/bfs_correctness_test.cc.o.d"
+  "bfs_correctness_test"
+  "bfs_correctness_test.pdb"
+  "bfs_correctness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfs_correctness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfs_property_test.dir/bfs_property_test.cc.o"
+  "CMakeFiles/bfs_property_test.dir/bfs_property_test.cc.o.d"
+  "bfs_property_test"
+  "bfs_property_test.pdb"
+  "bfs_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

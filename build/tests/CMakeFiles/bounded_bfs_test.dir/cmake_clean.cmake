@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_bfs_test.dir/bounded_bfs_test.cc.o"
+  "CMakeFiles/bounded_bfs_test.dir/bounded_bfs_test.cc.o.d"
+  "bounded_bfs_test"
+  "bounded_bfs_test.pdb"
+  "bounded_bfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_bfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degree_stats_test.dir/degree_stats_test.cc.o"
+  "CMakeFiles/degree_stats_test.dir/degree_stats_test.cc.o.d"
+  "degree_stats_test"
+  "degree_stats_test.pdb"
+  "degree_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degree_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misc_behavior_test.dir/misc_behavior_test.cc.o"
+  "CMakeFiles/misc_behavior_test.dir/misc_behavior_test.cc.o.d"
+  "misc_behavior_test"
+  "misc_behavior_test.pdb"
+  "misc_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misc_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_placement_test.dir/numa_placement_test.cc.o"
+  "CMakeFiles/numa_placement_test.dir/numa_placement_test.cc.o.d"
+  "numa_placement_test"
+  "numa_placement_test.pdb"
+  "numa_placement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

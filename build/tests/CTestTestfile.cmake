@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/batch_test[1]_include.cmake")
+include("/root/repo/build/tests/bfs_correctness_test[1]_include.cmake")
+include("/root/repo/build/tests/bfs_property_test[1]_include.cmake")
+include("/root/repo/build/tests/bitset_test[1]_include.cmake")
+include("/root/repo/build/tests/bounded_bfs_test[1]_include.cmake")
+include("/root/repo/build/tests/components_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/degree_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/generators_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/labeling_test[1]_include.cmake")
+include("/root/repo/build/tests/landmarks_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/numa_placement_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_build_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/validate_test[1]_include.cmake")
