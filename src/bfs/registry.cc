@@ -1,0 +1,154 @@
+#include "bfs/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "bfs/beamer.h"
+#include "bfs/multi_source.h"
+#include "bfs/sequential.h"
+#include "bfs/single_source.h"
+#include "util/check.h"
+
+namespace pbfs {
+namespace {
+
+// The textbook reference itself, so the harness can enumerate it
+// uniformly (and sanity-check the oracle against hand-built graphs).
+class SequentialRunner : public BfsVariantRunner {
+ public:
+  explicit SequentialRunner(const Graph& graph) : graph_(graph) {
+    desc_.name = "sequential";
+  }
+
+  const BfsVariantDesc& desc() const override { return desc_; }
+
+  void ComputeLevels(std::span<const Vertex> sources, const BfsOptions&,
+                     Level* levels) override {
+    const Vertex n = graph_.num_vertices();
+    for (size_t i = 0; i < sources.size(); ++i) {
+      SequentialBfs(graph_, sources[i], levels + i * n);
+    }
+  }
+
+ private:
+  const Graph& graph_;
+  BfsVariantDesc desc_;
+};
+
+class BeamerRunner : public BfsVariantRunner {
+ public:
+  BeamerRunner(const Graph& graph, BeamerVariant variant)
+      : graph_(graph), variant_(variant) {
+    desc_.name = BeamerVariantName(variant);  // "beamer-sparse", ...
+  }
+
+  const BfsVariantDesc& desc() const override { return desc_; }
+
+  void ComputeLevels(std::span<const Vertex> sources,
+                     const BfsOptions& options, Level* levels) override {
+    const Vertex n = graph_.num_vertices();
+    for (size_t i = 0; i < sources.size(); ++i) {
+      BeamerBfs(graph_, sources[i], variant_, options, levels + i * n);
+    }
+  }
+
+ private:
+  const Graph& graph_;
+  BeamerVariant variant_;
+  BfsVariantDesc desc_;
+};
+
+class SingleSourceRunner : public BfsVariantRunner {
+ public:
+  SingleSourceRunner(std::string name,
+                     std::unique_ptr<SingleSourceBfsBase> bfs, Vertex n)
+      : bfs_(std::move(bfs)), n_(n) {
+    desc_.name = std::move(name);
+    desc_.parallel = true;
+  }
+
+  const BfsVariantDesc& desc() const override { return desc_; }
+
+  void ComputeLevels(std::span<const Vertex> sources,
+                     const BfsOptions& options, Level* levels) override {
+    for (size_t i = 0; i < sources.size(); ++i) {
+      bfs_->Run(sources[i], options, levels + i * n_);
+    }
+  }
+
+ private:
+  std::unique_ptr<SingleSourceBfsBase> bfs_;
+  Vertex n_;
+  BfsVariantDesc desc_;
+};
+
+class MultiSourceRunner : public BfsVariantRunner {
+ public:
+  MultiSourceRunner(std::string name, bool parallel,
+                    std::unique_ptr<MultiSourceBfsBase> bfs, Vertex n)
+      : bfs_(std::move(bfs)), n_(n) {
+    desc_.name = std::move(name);
+    desc_.parallel = parallel;
+    desc_.multi_source = true;
+    desc_.width = bfs_->width();
+  }
+
+  const BfsVariantDesc& desc() const override { return desc_; }
+
+  void ComputeLevels(std::span<const Vertex> sources,
+                     const BfsOptions& options, Level* levels) override {
+    const size_t width = static_cast<size_t>(bfs_->width());
+    for (size_t batch = 0; batch < sources.size(); batch += width) {
+      size_t count = std::min(width, sources.size() - batch);
+      bfs_->Run(sources.subspan(batch, count), options,
+                levels + batch * n_);
+    }
+  }
+
+ private:
+  std::unique_ptr<MultiSourceBfsBase> bfs_;
+  Vertex n_;
+  BfsVariantDesc desc_;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<BfsVariantRunner>> MakeAllVariantRunners(
+    const Graph& graph, Executor* executor, int ms_width) {
+  PBFS_CHECK(executor != nullptr);
+  PBFS_CHECK(IsSupportedWidth(ms_width));
+  const Vertex n = graph.num_vertices();
+  std::vector<std::unique_ptr<BfsVariantRunner>> runners;
+  runners.push_back(std::make_unique<SequentialRunner>(graph));
+  for (BeamerVariant variant : {BeamerVariant::kSparse, BeamerVariant::kDense,
+                                BeamerVariant::kGapbs}) {
+    runners.push_back(std::make_unique<BeamerRunner>(graph, variant));
+  }
+  runners.push_back(std::make_unique<SingleSourceRunner>(
+      "queue_pbfs", MakeQueuePbfs(graph, executor), n));
+  runners.push_back(std::make_unique<SingleSourceRunner>(
+      "smspbfs_bit", MakeSmsPbfs(graph, SmsVariant::kBit, executor), n));
+  runners.push_back(std::make_unique<SingleSourceRunner>(
+      "smspbfs_byte", MakeSmsPbfs(graph, SmsVariant::kByte, executor), n));
+  runners.push_back(std::make_unique<MultiSourceRunner>(
+      "msbfs", /*parallel=*/false, MakeMsBfs(graph, ms_width), n));
+  runners.push_back(std::make_unique<MultiSourceRunner>(
+      "jfq_msbfs", /*parallel=*/false, MakeJfqMsBfs(graph, ms_width), n));
+  runners.push_back(std::make_unique<MultiSourceRunner>(
+      "mspbfs", /*parallel=*/true, MakeMsPbfs(graph, ms_width, executor), n));
+  return runners;
+}
+
+std::vector<std::string> AllVariantNames() {
+  // Names come from a throwaway binding to an empty graph, so the list
+  // can never drift from MakeAllVariantRunners.
+  Graph empty;
+  SerialExecutor serial;
+  std::vector<std::string> names;
+  for (const auto& runner : MakeAllVariantRunners(empty, &serial)) {
+    names.push_back(runner->desc().name);
+  }
+  return names;
+}
+
+}  // namespace pbfs

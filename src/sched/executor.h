@@ -7,6 +7,10 @@
 // makes the paper's "MS-PBFS (sequential)" variant possible: one
 // independent single-threaded MS-PBFS instance per core, exactly like
 // MS-BFS is deployed, but with the MS-PBFS kernel optimizations.
+//
+// Testing builds can additionally perturb the WorkerPool's stealing
+// schedule through an injectable StealPolicy (see steal_policy.h); the
+// kernels themselves are oblivious to which schedule runs their loops.
 #ifndef PBFS_SCHED_EXECUTOR_H_
 #define PBFS_SCHED_EXECUTOR_H_
 

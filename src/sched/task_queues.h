@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sched/steal_policy.h"
 #include "util/aligned_buffer.h"
 #include "util/check.h"
 
@@ -42,7 +43,10 @@ class TaskQueues {
   TaskQueues& operator=(const TaskQueues&) = delete;
 
   // CreateTasks (Listing 5): splits [0, total) into ceil(total/split_size)
-  // tasks and deals them round-robin to the worker queues.
+  // tasks and deals them round-robin to the worker queues. A zero-vertex
+  // loop (total == 0) is valid and fully reinitializes the queues, so no
+  // task count or split size from a previous loop survives into later
+  // Fetch calls.
   void Reset(uint64_t total, uint32_t split_size) {
     PBFS_CHECK(split_size > 0);
     total_ = total;
@@ -61,6 +65,13 @@ class TaskQueues {
   uint64_t num_tasks() const { return num_tasks_; }
   uint32_t split_size() const { return split_size_; }
 
+  // Installs a schedule perturbation (null restores the default probe
+  // order). Testing-only: must be called between loops, never while
+  // workers are fetching, and has no effect unless the library was built
+  // with PBFS_SCHED_TESTING (see steal_policy.h).
+  void SetStealPolicy(const StealPolicy* policy) { policy_ = policy; }
+  const StealPolicy* steal_policy() const { return policy_; }
+
   // FetchTask (Listing 6). `steal_cursor` is worker-local scan state (the
   // offset where the previous task was found); initialize to 0 before
   // each parallel loop. Returns an empty range when all queues are
@@ -68,8 +79,25 @@ class TaskQueues {
   TaskRange Fetch(int worker_id, int* steal_cursor) {
     const int workers = num_workers();
     PBFS_DCHECK(worker_id >= 0 && worker_id < workers);
+    // Nothing dealt (zero-vertex loop, or Reset never called): return
+    // empty without scanning queue state left over from earlier loops.
+    if (num_tasks_ == 0) return {};
+#ifdef PBFS_SCHED_PERTURB
+    const StealPolicy* policy = policy_;
+    if (policy != nullptr) policy->OnFetch(worker_id, workers);
+#endif
     for (int probe = 0; probe < workers; ++probe) {
-      int offset = (*steal_cursor + probe) % workers;
+      int offset;
+#ifdef PBFS_SCHED_PERTURB
+      if (policy != nullptr) {
+        offset = policy->ProbeOffset(worker_id, probe, workers,
+                                     *steal_cursor);
+        PBFS_DCHECK(offset >= 0 && offset < workers);
+      } else
+#endif
+      {
+        offset = (*steal_cursor + probe) % workers;
+      }
       int i = (worker_id + offset) % workers;
       Queue& q = queues_[i];
       // Read before fetch-add so drained queues cost no atomic write
@@ -99,6 +127,7 @@ class TaskQueues {
   uint64_t total_ = 0;
   uint64_t num_tasks_ = 0;
   uint32_t split_size_ = 1;
+  const StealPolicy* policy_ = nullptr;
 };
 
 }  // namespace pbfs

@@ -83,9 +83,16 @@ void WorkerPool::Dispatch(const std::function<void(int)>& job) {
 
 void WorkerPool::ParallelFor(uint64_t total, uint32_t split_size,
                              const RangeBody& body) {
-  if (total == 0) return;
+  // Reset even for the empty loop so no stale task count survives into a
+  // later manual Fetch (e.g. benches driving queues via RunOnWorkers).
   queues_.Reset(total, split_size);
+  if (total == 0) return;
   std::function<void(int)> job = [this, &body](int worker_id) {
+#ifdef PBFS_SCHED_PERTURB
+    if (const StealPolicy* policy = queues_.steal_policy()) {
+      policy->OnLoopStart(worker_id, num_workers_);
+    }
+#endif
     int steal_cursor = 0;
     uint64_t local = 0;
     uint64_t stolen = 0;

@@ -23,6 +23,7 @@
 
 #include "platform/topology.h"
 #include "sched/executor.h"
+#include "sched/steal_policy.h"
 #include "sched/task_queues.h"
 
 namespace pbfs {
@@ -70,6 +71,15 @@ class WorkerPool : public Executor {
 
   // Runs `fn(worker_id)` exactly once on every worker thread.
   void RunOnWorkers(const std::function<void(int worker_id)>& fn);
+
+  // Installs a deterministic schedule perturbation for subsequent
+  // ParallelFor loops (null restores the default schedule). Testing-only
+  // (see steal_policy.h): must be called from the coordinating thread
+  // between loops, and is inert unless built with PBFS_SCHED_TESTING.
+  void SetStealPolicy(const StealPolicy* policy) {
+    queues_.SetStealPolicy(policy);
+  }
+  const StealPolicy* steal_policy() const { return queues_.steal_policy(); }
 
   // Cumulative scheduling counters since construction (or the last
   // ResetSchedulerStats). "Local" tasks were fetched from the worker's

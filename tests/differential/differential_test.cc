@@ -1,0 +1,175 @@
+// Differential BFS oracle harness.
+//
+// Every registered BFS variant (sequential, Beamer x3, queue-PBFS,
+// SMS-PBFS bit/byte, MS-BFS, JFQ-MS-BFS, MS-PBFS) runs over a shared
+// corpus of randomized graph families and its full level arrays are
+// diffed against the sequential oracle. All randomness derives from one
+// seed that is printed on failure; see diff_util.h for the
+// PBFS_DIFF_SEED / PBFS_DIFF_TRIALS reproduction knobs and
+// docs/testing.md for the workflow.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bfs/registry.h"
+#include "diff_util.h"
+#include "sched/worker_pool.h"
+
+namespace pbfs {
+namespace {
+
+using diff::CorpusGraph;
+using diff::CorpusSources;
+using diff::DiffAgainstOracle;
+using diff::MakeCorpus;
+using diff::OracleLevels;
+using diff::ReproNote;
+
+// Runs every variant over one corpus instance on `executor`, diffing
+// against the oracle. `options` lets callers force direction policies.
+void RunCorpusTrial(uint64_t trial_seed, Executor* executor,
+                    const BfsOptions& options, int sources_per_graph) {
+  std::vector<CorpusGraph> corpus = MakeCorpus(trial_seed);
+  uint64_t sub_seed = trial_seed;
+  for (const CorpusGraph& gc : corpus) {
+    sub_seed = SplitMix64(sub_seed);
+    const Vertex n = gc.graph.num_vertices();
+    std::vector<Vertex> sources =
+        CorpusSources(gc.graph, sources_per_graph, sub_seed);
+    std::vector<Level> oracle = OracleLevels(gc.graph, sources);
+    for (auto& runner : MakeAllVariantRunners(gc.graph, executor)) {
+      std::vector<Level> got(sources.size() * n, Level{0xABCD});
+      runner->ComputeLevels(sources, options, got.data());
+      std::string diff = DiffAgainstOracle(oracle, got, n);
+      EXPECT_TRUE(diff.empty())
+          << runner->desc().name << " diverges from oracle on " << gc.name
+          << " (n=" << n << ", m=" << gc.graph.num_edges() << "): " << diff
+          << " " << ReproNote(trial_seed);
+    }
+  }
+}
+
+TEST(DifferentialTest, RegistryEnumeratesAllVariants) {
+  std::vector<std::string> names = AllVariantNames();
+  EXPECT_GE(names.size(), 6u);
+  EXPECT_EQ(names.front(), "sequential");
+  // Spot-check the registry covers every implementation family.
+  for (const char* expected :
+       {"beamer-sparse", "beamer-dense", "beamer-gapbs", "queue_pbfs",
+        "smspbfs_bit", "smspbfs_byte", "msbfs", "jfq_msbfs", "mspbfs"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected << " missing from registry";
+  }
+}
+
+TEST(DifferentialTest, AllVariantsMatchOracleSerial) {
+  SerialExecutor serial;
+  for (int trial = 0; trial < diff::NumTrials(); ++trial) {
+    uint64_t seed = diff::TrialSeed(trial);
+    SCOPED_TRACE(ReproNote(seed));
+    RunCorpusTrial(seed, &serial, BfsOptions{}, /*sources_per_graph=*/6);
+  }
+}
+
+TEST(DifferentialTest, AllVariantsMatchOracleParallel) {
+  WorkerPool pool({.num_workers = 4, .pin_threads = false});
+  BfsOptions options;
+  options.split_size = 128;  // small tasks so stealing actually happens
+  for (int trial = 0; trial < diff::NumTrials(); ++trial) {
+    uint64_t seed = diff::TrialSeed(trial);
+    SCOPED_TRACE(ReproNote(seed));
+    RunCorpusTrial(seed, &pool, options, /*sources_per_graph=*/6);
+  }
+}
+
+TEST(DifferentialTest, AllVariantsMatchOraclePureTopDown) {
+  WorkerPool pool({.num_workers = 3, .pin_threads = false});
+  BfsOptions options;
+  options.enable_bottom_up = false;
+  options.split_size = 64;
+  uint64_t seed = diff::TrialSeed(101);
+  SCOPED_TRACE(ReproNote(seed));
+  RunCorpusTrial(seed, &pool, options, /*sources_per_graph=*/4);
+}
+
+TEST(DifferentialTest, AllVariantsMatchOracleBottomUpHeavy) {
+  WorkerPool pool({.num_workers = 3, .pin_threads = false});
+  BfsOptions options;
+  options.alpha = 0.001;  // switch to bottom-up almost immediately
+  options.beta = 1e9;     // and never switch back
+  options.split_size = 64;
+  uint64_t seed = diff::TrialSeed(202);
+  SCOPED_TRACE(ReproNote(seed));
+  RunCorpusTrial(seed, &pool, options, /*sources_per_graph=*/4);
+}
+
+// ---------------------------------------------------------------------
+// Degenerate inputs: every variant must agree with the oracle on the
+// pathological shapes the kernels special-case implicitly.
+// ---------------------------------------------------------------------
+
+TEST(DifferentialDegenerateTest, EmptyGraphZeroSources) {
+  Graph empty = Graph::FromEdges(0, std::vector<Edge>{});
+  SerialExecutor serial;
+  for (auto& runner : MakeAllVariantRunners(empty, &serial)) {
+    // No vertices, no sources: must be a clean no-op.
+    runner->ComputeLevels({}, BfsOptions{}, nullptr);
+  }
+  WorkerPool pool({.num_workers = 2, .pin_threads = false});
+  for (auto& runner : MakeAllVariantRunners(empty, &pool)) {
+    runner->ComputeLevels({}, BfsOptions{}, nullptr);
+  }
+}
+
+TEST(DifferentialDegenerateTest, SingleVertexGraph) {
+  Graph g = Path(1);
+  WorkerPool pool({.num_workers = 2, .pin_threads = false});
+  std::vector<Vertex> sources = {0};
+  std::vector<Level> oracle = OracleLevels(g, sources);
+  ASSERT_EQ(oracle, std::vector<Level>{0});
+  for (auto& runner : MakeAllVariantRunners(g, &pool)) {
+    std::vector<Level> got(1, Level{0xABCD});
+    runner->ComputeLevels(sources, BfsOptions{}, got.data());
+    EXPECT_EQ(got, oracle) << runner->desc().name;
+  }
+}
+
+TEST(DifferentialDegenerateTest, SourceWithNoEdges) {
+  // Vertex 4 is isolated: its BFS reaches only itself, and BFSs from
+  // the connected component must leave it unreached.
+  Graph g = Graph::FromEdges(5, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}});
+  WorkerPool pool({.num_workers = 2, .pin_threads = false});
+  std::vector<Vertex> sources = {4, 0};
+  std::vector<Level> oracle = OracleLevels(g, sources);
+  EXPECT_EQ(oracle[4], 0);                      // isolated source itself
+  EXPECT_EQ(oracle[0], kLevelUnreached);        // rest unreached from 4
+  EXPECT_EQ(oracle[5 + 4], kLevelUnreached);    // 4 unreached from 0
+  for (auto& runner : MakeAllVariantRunners(g, &pool)) {
+    std::vector<Level> got(oracle.size(), Level{0xABCD});
+    runner->ComputeLevels(sources, BfsOptions{}, got.data());
+    EXPECT_EQ(got, oracle) << runner->desc().name;
+  }
+}
+
+TEST(DifferentialDegenerateTest, MoreSourcesThanBatchWidth) {
+  // 70 sources against width-64 multi-source variants: the runners must
+  // batch (64 + 6) and the second batch must not inherit first-batch
+  // state. Duplicates across and within batches are included.
+  Graph g = ErdosRenyi(300, 900, /*seed=*/12345);
+  WorkerPool pool({.num_workers = 4, .pin_threads = false});
+  std::vector<Vertex> sources = CorpusSources(g, 70, /*seed=*/999);
+  ASSERT_GT(sources.size(), 64u);
+  std::vector<Level> oracle = OracleLevels(g, sources);
+  for (auto& runner : MakeAllVariantRunners(g, &pool, /*ms_width=*/64)) {
+    std::vector<Level> got(oracle.size(), Level{0xABCD});
+    runner->ComputeLevels(sources, BfsOptions{}, got.data());
+    std::string diff = DiffAgainstOracle(oracle, got, g.num_vertices());
+    EXPECT_TRUE(diff.empty()) << runner->desc().name << ": " << diff;
+  }
+}
+
+}  // namespace
+}  // namespace pbfs
