@@ -29,18 +29,23 @@ KHopResult KHopNeighborhoods(const Graph& graph,
     levels.assign(k * static_cast<size_t>(n), 0);
     bfs->Run(batch, options, levels.data());
     for (size_t i = 0; i < k; ++i) {
-      const Level* row = levels.data() + i * n;
-      std::vector<uint64_t>& sizes = result.size[base + i];
-      // Count per exact hop, then prefix-sum to cumulative.
-      for (Vertex v = 0; v < n; ++v) {
-        const Level l = row[v];
-        if (l == kLevelUnreached || l == 0 || l > max_hops) continue;
-        ++sizes[l];
-      }
-      for (Level h = 1; h <= max_hops; ++h) sizes[h] += sizes[h - 1];
+      result.size[base + i] = KHopSizesFromLevels(
+          {levels.data() + i * n, static_cast<size_t>(n)}, max_hops);
     }
   }
   return result;
+}
+
+std::vector<uint64_t> KHopSizesFromLevels(std::span<const Level> levels,
+                                          Level max_hops) {
+  std::vector<uint64_t> sizes(static_cast<size_t>(max_hops) + 1, 0);
+  // Count per exact hop, then prefix-sum to cumulative.
+  for (const Level l : levels) {
+    if (l == kLevelUnreached || l == 0 || l > max_hops) continue;
+    ++sizes[l];
+  }
+  for (Level h = 1; h <= max_hops; ++h) sizes[h] += sizes[h - 1];
+  return sizes;
 }
 
 }  // namespace pbfs

@@ -231,13 +231,30 @@ class MsPbfs final : public MultiSourceBfsBase {
           continue;
         }
         Bitset<kBits> acc = next_[u];
-        for (Vertex v : graph_.Neighbors(u)) {
-          acc |= frontier_[v];
-          ++neighbors_visited;
-          // Early exit: stop scanning once every active BFS has either
-          // seen u or will discover it now.
-          if ((acc | seen_[u]) == active) break;
+        const std::span<const Vertex> neighbors = graph_.Neighbors(u);
+        const size_t deg = neighbors.size();
+        // Early exit: stop scanning once every active BFS has either
+        // seen u or will discover it now. The check runs once per
+        // 4-neighbor chunk rather than per neighbor: the frontier
+        // gathers are independent loads the core can overlap, and
+        // checking per neighbor would chain them behind a branch.
+        // Over-scanning a chunk is harmless — every gathered frontier
+        // bit belongs to this level, so any superset of the minimal
+        // scan produces the same `nf`.
+        const Bitset<kBits> done = active & ~seen_[u];
+        size_t j = 0;
+        for (; j + 4 <= deg; j += 4) {
+          acc |= frontier_[neighbors[j]] | frontier_[neighbors[j + 1]] |
+                 frontier_[neighbors[j + 2]] | frontier_[neighbors[j + 3]];
+          if ((acc & done) == done) {
+            j += 4;
+            break;
+          }
         }
+        if ((acc & done) != done) {
+          for (; j < deg; ++j) acc |= frontier_[neighbors[j]];
+        }
+        neighbors_visited += j;
         const Bitset<kBits> nf = acc & ~seen_[u];
         next_[u] = nf;
         if (nf.None()) continue;

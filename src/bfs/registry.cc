@@ -111,42 +111,102 @@ class MultiSourceRunner : public BfsVariantRunner {
   BfsVariantDesc desc_;
 };
 
+// One registry row: the variant's canonical name and how to construct
+// it. Both MakeAllVariantRunners and FindVariantRunner go through this
+// table, so name lookup can never drift from enumeration order.
+struct VariantFactory {
+  const char* name;
+  std::unique_ptr<BfsVariantRunner> (*make)(const Graph& graph,
+                                            Executor* executor, int ms_width);
+};
+
+constexpr VariantFactory kVariantFactories[] = {
+    {"sequential",
+     [](const Graph& g, Executor*, int) -> std::unique_ptr<BfsVariantRunner> {
+       return std::make_unique<SequentialRunner>(g);
+     }},
+    {"beamer-sparse",
+     [](const Graph& g, Executor*, int) -> std::unique_ptr<BfsVariantRunner> {
+       return std::make_unique<BeamerRunner>(g, BeamerVariant::kSparse);
+     }},
+    {"beamer-dense",
+     [](const Graph& g, Executor*, int) -> std::unique_ptr<BfsVariantRunner> {
+       return std::make_unique<BeamerRunner>(g, BeamerVariant::kDense);
+     }},
+    {"beamer-gapbs",
+     [](const Graph& g, Executor*, int) -> std::unique_ptr<BfsVariantRunner> {
+       return std::make_unique<BeamerRunner>(g, BeamerVariant::kGapbs);
+     }},
+    {"queue_pbfs",
+     [](const Graph& g, Executor* ex,
+        int) -> std::unique_ptr<BfsVariantRunner> {
+       return std::make_unique<SingleSourceRunner>(
+           "queue_pbfs", MakeQueuePbfs(g, ex), g.num_vertices());
+     }},
+    {"smspbfs_bit",
+     [](const Graph& g, Executor* ex,
+        int) -> std::unique_ptr<BfsVariantRunner> {
+       return std::make_unique<SingleSourceRunner>(
+           "smspbfs_bit", MakeSmsPbfs(g, SmsVariant::kBit, ex),
+           g.num_vertices());
+     }},
+    {"smspbfs_byte",
+     [](const Graph& g, Executor* ex,
+        int) -> std::unique_ptr<BfsVariantRunner> {
+       return std::make_unique<SingleSourceRunner>(
+           "smspbfs_byte", MakeSmsPbfs(g, SmsVariant::kByte, ex),
+           g.num_vertices());
+     }},
+    {"msbfs",
+     [](const Graph& g, Executor*, int w) -> std::unique_ptr<BfsVariantRunner> {
+       return std::make_unique<MultiSourceRunner>(
+           "msbfs", /*parallel=*/false, MakeMsBfs(g, w), g.num_vertices());
+     }},
+    {"jfq_msbfs",
+     [](const Graph& g, Executor*, int w) -> std::unique_ptr<BfsVariantRunner> {
+       return std::make_unique<MultiSourceRunner>("jfq_msbfs",
+                                                  /*parallel=*/false,
+                                                  MakeJfqMsBfs(g, w),
+                                                  g.num_vertices());
+     }},
+    {"mspbfs",
+     [](const Graph& g, Executor* ex,
+        int w) -> std::unique_ptr<BfsVariantRunner> {
+       return std::make_unique<MultiSourceRunner>(
+           "mspbfs", /*parallel=*/true, MakeMsPbfs(g, w, ex),
+           g.num_vertices());
+     }},
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<BfsVariantRunner>> MakeAllVariantRunners(
     const Graph& graph, Executor* executor, int ms_width) {
   PBFS_CHECK(executor != nullptr);
   PBFS_CHECK(IsSupportedWidth(ms_width));
-  const Vertex n = graph.num_vertices();
   std::vector<std::unique_ptr<BfsVariantRunner>> runners;
-  runners.push_back(std::make_unique<SequentialRunner>(graph));
-  for (BeamerVariant variant : {BeamerVariant::kSparse, BeamerVariant::kDense,
-                                BeamerVariant::kGapbs}) {
-    runners.push_back(std::make_unique<BeamerRunner>(graph, variant));
+  for (const VariantFactory& factory : kVariantFactories) {
+    runners.push_back(factory.make(graph, executor, ms_width));
   }
-  runners.push_back(std::make_unique<SingleSourceRunner>(
-      "queue_pbfs", MakeQueuePbfs(graph, executor), n));
-  runners.push_back(std::make_unique<SingleSourceRunner>(
-      "smspbfs_bit", MakeSmsPbfs(graph, SmsVariant::kBit, executor), n));
-  runners.push_back(std::make_unique<SingleSourceRunner>(
-      "smspbfs_byte", MakeSmsPbfs(graph, SmsVariant::kByte, executor), n));
-  runners.push_back(std::make_unique<MultiSourceRunner>(
-      "msbfs", /*parallel=*/false, MakeMsBfs(graph, ms_width), n));
-  runners.push_back(std::make_unique<MultiSourceRunner>(
-      "jfq_msbfs", /*parallel=*/false, MakeJfqMsBfs(graph, ms_width), n));
-  runners.push_back(std::make_unique<MultiSourceRunner>(
-      "mspbfs", /*parallel=*/true, MakeMsPbfs(graph, ms_width, executor), n));
   return runners;
 }
 
+std::unique_ptr<BfsVariantRunner> FindVariantRunner(const std::string& name,
+                                                    const Graph& graph,
+                                                    Executor* executor,
+                                                    int ms_width) {
+  PBFS_CHECK(executor != nullptr);
+  PBFS_CHECK(IsSupportedWidth(ms_width));
+  for (const VariantFactory& factory : kVariantFactories) {
+    if (name == factory.name) return factory.make(graph, executor, ms_width);
+  }
+  return nullptr;
+}
+
 std::vector<std::string> AllVariantNames() {
-  // Names come from a throwaway binding to an empty graph, so the list
-  // can never drift from MakeAllVariantRunners.
-  Graph empty;
-  SerialExecutor serial;
   std::vector<std::string> names;
-  for (const auto& runner : MakeAllVariantRunners(empty, &serial)) {
-    names.push_back(runner->desc().name);
+  for (const VariantFactory& factory : kVariantFactories) {
+    names.emplace_back(factory.name);
   }
   return names;
 }

@@ -59,6 +59,15 @@ class BfsVariantRunner {
 std::vector<std::unique_ptr<BfsVariantRunner>> MakeAllVariantRunners(
     const Graph& graph, Executor* executor, int ms_width = 64);
 
+// The single variant named `name` (one of AllVariantNames) bound to
+// `graph`, hiding the same construction quirks as MakeAllVariantRunners.
+// Returns nullptr for an unknown name. Used by the query engine and
+// tools to select a kernel from a config string.
+std::unique_ptr<BfsVariantRunner> FindVariantRunner(const std::string& name,
+                                                    const Graph& graph,
+                                                    Executor* executor,
+                                                    int ms_width = 64);
+
 // Names of all registered variants in registry order (the order
 // MakeAllVariantRunners returns them). "sequential" is first: it is the
 // oracle the others are diffed against.

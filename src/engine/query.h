@@ -1,0 +1,69 @@
+// Typed BFS queries and results for the concurrent query engine.
+//
+// A Query is one independent traversal request from one client: the
+// engine answers it from a full level array computed either by a
+// coalesced MS-PBFS batch or by a single-source fallback run (see
+// query_engine.h). The four types cover the BFS applications named in
+// the paper's introduction: full distance labelings, point-to-point
+// distances, reachability, and k-hop neighborhood enumeration.
+#ifndef PBFS_ENGINE_QUERY_H_
+#define PBFS_ENGINE_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bfs/common.h"
+#include "graph/types.h"
+
+namespace pbfs {
+
+enum class QueryType {
+  kLevels,        // full level array from the source
+  kDistances,     // hop distance to each listed target
+  kReachability,  // one reachable flag per listed target
+  kKHop,          // cumulative neighborhood sizes for hops 0..max_hops
+};
+
+const char* QueryTypeName(QueryType type);
+
+struct Query {
+  QueryType type = QueryType::kLevels;
+  Vertex source = 0;
+  // Targets for kDistances / kReachability; may be empty, may repeat.
+  std::vector<Vertex> targets;
+  // Traversal radius for kKHop. Batches consisting solely of k-hop
+  // queries are traversed bounded (options.max_level), so small radii
+  // stay cheap even through the engine.
+  Level max_hops = kMaxLevel;
+  // Absolute monotonic deadline on the NowNanos() clock; 0 = none. A
+  // query whose deadline has passed when the dispatcher picks it up
+  // completes with kDeadlineExceeded without being traversed.
+  int64_t deadline_ns = 0;
+};
+
+enum class QueryStatus : uint8_t {
+  kOk,
+  kInvalid,           // source or a target out of [0, num_vertices)
+  kCancelled,         // Cancel() before dispatch, or engine shutdown
+  kDeadlineExceeded,  // deadline passed before dispatch
+};
+
+const char* QueryStatusName(QueryStatus status);
+
+struct QueryResult {
+  QueryStatus status = QueryStatus::kOk;
+  // kLevels: one entry per vertex. kDistances: one entry per target
+  // (kLevelUnreached when unreachable).
+  std::vector<Level> levels;
+  // kReachability: one 0/1 flag per target.
+  std::vector<uint8_t> reachable;
+  // kKHop: cumulative neighborhood sizes for hops 0..max_hops
+  // (excluding the source itself).
+  std::vector<uint64_t> khop_sizes;
+  // kLevels only: vertices with a finite level (including the source).
+  uint64_t vertices_reached = 0;
+};
+
+}  // namespace pbfs
+
+#endif  // PBFS_ENGINE_QUERY_H_

@@ -1,0 +1,316 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "algorithms/khop.h"
+#include "bfs/multi_source.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace pbfs {
+
+const char* QueryTypeName(QueryType type) {
+  switch (type) {
+    case QueryType::kLevels:
+      return "levels";
+    case QueryType::kDistances:
+      return "distances";
+    case QueryType::kReachability:
+      return "reachability";
+    case QueryType::kKHop:
+      return "khop";
+  }
+  return "unknown";
+}
+
+const char* QueryStatusName(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kOk:
+      return "ok";
+    case QueryStatus::kInvalid:
+      return "invalid";
+    case QueryStatus::kCancelled:
+      return "cancelled";
+    case QueryStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+  }
+  return "unknown";
+}
+
+std::string QueryEngineStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "queries: %llu admitted, %llu ok, %llu cancelled, %llu expired, "
+      "%llu invalid | dispatches: %llu batches, %llu single | "
+      "occupancy: mean %.2f (min %.2f, max %.2f) | "
+      "coalesce wait: mean %.3f ms (max %.3f ms)",
+      static_cast<unsigned long long>(queries_admitted),
+      static_cast<unsigned long long>(queries_completed),
+      static_cast<unsigned long long>(queries_cancelled),
+      static_cast<unsigned long long>(queries_expired),
+      static_cast<unsigned long long>(queries_invalid),
+      static_cast<unsigned long long>(batches_run),
+      static_cast<unsigned long long>(single_runs), batch_occupancy.mean(),
+      batch_occupancy.min(), batch_occupancy.max(), coalesce_wait_ms.mean(),
+      coalesce_wait_ms.max());
+  return buf;
+}
+
+QueryEngine::QueryEngine(const Graph& graph, Executor* executor,
+                         QueryEngineOptions options)
+    : graph_(graph), executor_(executor), options_(std::move(options)) {
+  PBFS_CHECK(executor_ != nullptr);
+  PBFS_CHECK(IsSupportedWidth(options_.max_batch_width));
+  PBFS_CHECK(options_.coalesce_wait_ms >= 0);
+  single_runner_ =
+      FindVariantRunner(options_.single_variant, graph_, executor_);
+  PBFS_CHECK(single_runner_ != nullptr);  // unknown single_variant name
+  // Resolve the batch variant eagerly at the smallest width so a typo'd
+  // name fails at construction, not on the first wide burst.
+  PBFS_CHECK(RunnerForWidth(kSupportedWidths[0]) != nullptr);
+  dispatcher_ = std::thread([this] { DispatcherMain(); });
+}
+
+QueryEngine::~QueryEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  dispatcher_.join();
+}
+
+QueryEngine::Submission QueryEngine::Submit(Query query) {
+  Submission submission;
+  std::promise<QueryResult> promise;
+  submission.result = promise.get_future();
+  std::lock_guard<std::mutex> lock(mutex_);
+  submission.id = next_id_++;
+  ++stats_.queries_admitted;
+  if (stopping_) {
+    QueryResult result;
+    result.status = QueryStatus::kCancelled;
+    ++stats_.queries_cancelled;
+    promise.set_value(std::move(result));
+    return submission;
+  }
+  ++outstanding_;
+  pending_.push_back(PendingQuery{submission.id, std::move(query),
+                                  std::move(promise), NowNanos()});
+  work_cv_.notify_one();
+  return submission;
+}
+
+bool QueryEngine::Cancel(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->id != id) continue;
+    CompleteLocked(*it, QueryStatus::kCancelled);
+    pending_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+void QueryEngine::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+QueryEngineStats QueryEngine::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void QueryEngine::CompleteLocked(PendingQuery& pending, QueryStatus status) {
+  QueryResult result;
+  result.status = status;
+  switch (status) {
+    case QueryStatus::kCancelled:
+      ++stats_.queries_cancelled;
+      break;
+    case QueryStatus::kDeadlineExceeded:
+      ++stats_.queries_expired;
+      break;
+    case QueryStatus::kInvalid:
+      ++stats_.queries_invalid;
+      break;
+    case QueryStatus::kOk:
+      break;
+  }
+  pending.promise.set_value(std::move(result));
+  PBFS_CHECK(outstanding_ > 0);
+  --outstanding_;
+  done_cv_.notify_all();
+}
+
+bool QueryEngine::IsValid(const Query& query) const {
+  const Vertex n = graph_.num_vertices();
+  if (query.source >= n) return false;
+  for (Vertex t : query.targets) {
+    if (t >= n) return false;
+  }
+  return true;
+}
+
+void QueryEngine::DispatcherMain() {
+  const int64_t linger_ns =
+      static_cast<int64_t>(options_.coalesce_wait_ms * 1e6);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+    if (stopping_) break;
+    // Linger: give concurrent submitters a chance to fill the batch
+    // before paying for a traversal. Every Submit() re-checks the size,
+    // so a burst that reaches max_batch_width dispatches immediately.
+    if (linger_ns > 0) {
+      const int64_t linger_end = NowNanos() + linger_ns;
+      while (!stopping_ && static_cast<int>(pending_.size()) <
+                               options_.max_batch_width) {
+        const int64_t now = NowNanos();
+        if (now >= linger_end) break;
+        work_cv_.wait_for(lock, std::chrono::nanoseconds(linger_end - now));
+      }
+      if (stopping_) break;
+    }
+    std::vector<PendingQuery> batch = TakeBatchLocked();
+    if (batch.empty()) continue;
+    lock.unlock();
+    const int width = ExecuteBatch(batch);
+    lock.lock();
+    if (batch.size() == 1) {
+      ++stats_.single_runs;
+    } else {
+      ++stats_.batches_run;
+      stats_.batch_occupancy.Add(static_cast<double>(batch.size()) /
+                                 static_cast<double>(width));
+    }
+    stats_.queries_completed += batch.size();
+    PBFS_CHECK(outstanding_ >= batch.size());
+    outstanding_ -= batch.size();
+    done_cv_.notify_all();
+  }
+  // Shutdown: everything still queued completes as cancelled.
+  while (!pending_.empty()) {
+    CompleteLocked(pending_.front(), QueryStatus::kCancelled);
+    pending_.pop_front();
+  }
+}
+
+std::vector<QueryEngine::PendingQuery> QueryEngine::TakeBatchLocked() {
+  std::vector<PendingQuery> batch;
+  const int64_t now = NowNanos();
+  while (!pending_.empty() &&
+         batch.size() < static_cast<size_t>(options_.max_batch_width)) {
+    PendingQuery pending = std::move(pending_.front());
+    pending_.pop_front();
+    if (pending.query.deadline_ns != 0 && now >= pending.query.deadline_ns) {
+      CompleteLocked(pending, QueryStatus::kDeadlineExceeded);
+      continue;
+    }
+    if (!IsValid(pending.query)) {
+      CompleteLocked(pending, QueryStatus::kInvalid);
+      continue;
+    }
+    stats_.coalesce_wait_ms.Add(static_cast<double>(now - pending.submit_ns) /
+                                1e6);
+    batch.push_back(std::move(pending));
+  }
+  return batch;
+}
+
+int QueryEngine::PickWidth(size_t count) const {
+  for (int w : kSupportedWidths) {
+    if (static_cast<size_t>(w) >= count) return w;
+  }
+  return options_.max_batch_width;
+}
+
+BfsVariantRunner* QueryEngine::RunnerForWidth(int width) {
+  for (auto& [w, runner] : batch_runners_) {
+    if (w == width) return runner.get();
+  }
+  std::unique_ptr<BfsVariantRunner> runner =
+      FindVariantRunner(options_.batch_variant, graph_, executor_, width);
+  if (runner == nullptr) return nullptr;
+  batch_runners_.emplace_back(width, std::move(runner));
+  return batch_runners_.back().second.get();
+}
+
+int QueryEngine::ExecuteBatch(std::vector<PendingQuery>& batch) {
+  const Vertex n = graph_.num_vertices();
+  const size_t count = batch.size();
+  std::vector<Vertex> sources(count);
+  // Bounded traversal when every query in the batch is radius-bounded
+  // (k-hop): the batch only travels as far as its widest radius.
+  Level needed = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const Query& q = batch[i].query;
+    sources[i] = q.source;
+    needed = std::max(needed,
+                      q.type == QueryType::kKHop ? q.max_hops : kMaxLevel);
+  }
+  BfsOptions options = options_.bfs;
+  options.max_level = std::min(options_.bfs.max_level, needed);
+
+  BfsVariantRunner* runner;
+  int width;
+  if (count == 1) {
+    runner = single_runner_.get();
+    width = 1;
+  } else {
+    width = PickWidth(count);
+    runner = RunnerForWidth(width);
+  }
+  // resize, not assign: every kernel overwrites all count * n entries
+  // (unreached vertices get kLevelUnreached), so re-zeroing the reused
+  // buffer would only add a full memory pass per batch.
+  levels_.resize(count * static_cast<size_t>(n));
+  runner->ComputeLevels(sources, options, levels_.data());
+  for (size_t i = 0; i < count; ++i) {
+    batch[i].promise.set_value(
+        ExtractResult(batch[i].query, levels_.data() + i * n));
+  }
+  return width;
+}
+
+QueryResult QueryEngine::ExtractResult(const Query& query,
+                                       const Level* row) const {
+  const Vertex n = graph_.num_vertices();
+  QueryResult result;
+  switch (query.type) {
+    case QueryType::kLevels: {
+      // Single pass: copy the row and count reached vertices while it
+      // is still in cache, instead of a copy pass plus a scan pass.
+      result.levels.resize(n);
+      uint64_t reached = 0;
+      for (Vertex v = 0; v < n; ++v) {
+        const Level level = row[v];
+        result.levels[v] = level;
+        reached += level != kLevelUnreached ? 1 : 0;
+      }
+      result.vertices_reached = reached;
+      break;
+    }
+    case QueryType::kDistances:
+      result.levels.reserve(query.targets.size());
+      for (Vertex t : query.targets) result.levels.push_back(row[t]);
+      break;
+    case QueryType::kReachability:
+      result.reachable.reserve(query.targets.size());
+      for (Vertex t : query.targets) {
+        result.reachable.push_back(row[t] != kLevelUnreached ? 1 : 0);
+      }
+      break;
+    case QueryType::kKHop:
+      result.khop_sizes = KHopSizesFromLevels(
+          {row, static_cast<size_t>(n)}, query.max_hops);
+      break;
+  }
+  return result;
+}
+
+}  // namespace pbfs

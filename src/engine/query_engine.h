@@ -1,0 +1,162 @@
+// Concurrent BFS query engine: admits independent single-source
+// queries from many client threads and amortizes them into multi-source
+// batches.
+//
+// MS-BFS exists because real workloads run many concurrent BFS
+// traversals (Then et al., VLDB 2015); the kernels in this library
+// accept 64-1024 sources per batch but the driver binaries submit them
+// one call at a time. The engine closes that gap: Submit() enqueues a
+// typed Query and returns a future; a dispatcher thread coalesces
+// whatever is pending into one batch, picks the smallest supported
+// bitset width that fits (falling back to a single-source kernel for a
+// lone query), runs it on the shared Executor, and fans the batched
+// level output back out into per-query results.
+//
+// Threading model: Submit/Cancel/Stats/Drain are thread-safe and may be
+// called from any number of client threads. All traversal work runs on
+// the dispatcher thread, which is therefore the executor's single
+// coordinating thread — clients never touch the WorkerPool directly,
+// and one engine must be the executor's only coordinator while it is
+// alive. Kernel instances are created lazily per width and reused
+// across batches, preserving the paper's one-instance memory footprint
+// (Figure 3) no matter how many clients are connected.
+#ifndef PBFS_ENGINE_QUERY_ENGINE_H_
+#define PBFS_ENGINE_QUERY_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bfs/common.h"
+#include "bfs/registry.h"
+#include "engine/query.h"
+#include "graph/graph.h"
+#include "sched/executor.h"
+#include "util/stats.h"
+
+namespace pbfs {
+
+struct QueryEngineOptions {
+  // Registry names (AllVariantNames) of the kernel used for coalesced
+  // batches of >= 2 queries and of the fallback for a lone query.
+  std::string batch_variant = "mspbfs";
+  std::string single_variant = "smspbfs_bit";
+  // Cap on the adaptive batch width; one of kSupportedWidths.
+  int max_batch_width = 1024;
+  // How long the dispatcher lingers after finding pending queries to
+  // let a batch fill before launching it partially occupied. The
+  // latency/occupancy trade-off knob: 0 dispatches immediately.
+  double coalesce_wait_ms = 0.25;
+  // Traversal tuning applied to every dispatch. max_level acts as an
+  // engine-wide radius cap; k-hop-only batches tighten it further.
+  BfsOptions bfs;
+};
+
+// Snapshot of the engine's lifetime counters (Stats()).
+struct QueryEngineStats {
+  uint64_t queries_admitted = 0;
+  uint64_t queries_completed = 0;  // finished with kOk
+  uint64_t queries_cancelled = 0;
+  uint64_t queries_expired = 0;  // deadline passed before dispatch
+  uint64_t queries_invalid = 0;
+  uint64_t batches_run = 0;   // multi-query dispatches
+  uint64_t single_runs = 0;   // lone-query fallback dispatches
+  // Queries per batch slot (batch size / chosen width), one sample per
+  // multi-query dispatch. Mean occupancy near 1 means coalescing is
+  // filling the bitset widths it pays for.
+  StreamingStats batch_occupancy;
+  // Submit-to-dispatch wall time per traversed query.
+  StreamingStats coalesce_wait_ms;
+
+  std::string ToString() const;
+};
+
+class QueryEngine {
+ public:
+  // Ticket for one submitted query. The future becomes ready when the
+  // query is traversed, cancelled, expired, or rejected.
+  struct Submission {
+    uint64_t id = 0;
+    std::future<QueryResult> result;
+  };
+
+  // `graph` and `executor` are borrowed and must outlive the engine.
+  QueryEngine(const Graph& graph, Executor* executor,
+              QueryEngineOptions options = {});
+  // Stops the dispatcher; queries still queued complete as kCancelled.
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  // Thread-safe. Never blocks on traversal work.
+  Submission Submit(Query query);
+
+  // Thread-safe. True if the query was still awaiting dispatch and is
+  // now completed as kCancelled; false once it was dispatched (its
+  // result arrives normally) or already finished.
+  bool Cancel(uint64_t id);
+
+  // Thread-safe. Blocks until every admitted query has been completed
+  // (traversed, cancelled, expired, or rejected).
+  void Drain();
+
+  QueryEngineStats Stats() const;
+
+  const QueryEngineOptions& options() const { return options_; }
+
+ private:
+  struct PendingQuery {
+    uint64_t id = 0;
+    Query query;
+    std::promise<QueryResult> promise;
+    int64_t submit_ns = 0;
+  };
+
+  void DispatcherMain();
+  // Pops up to max_batch_width traversable queries, completing expired
+  // and invalid ones in place. Requires mutex_ held.
+  std::vector<PendingQuery> TakeBatchLocked();
+  // Runs one batch (no lock held) and fulfills its promises. Returns
+  // the width the batch occupied (1 for the single-query fallback).
+  int ExecuteBatch(std::vector<PendingQuery>& batch);
+  // Smallest supported width >= count, capped at max_batch_width.
+  int PickWidth(size_t count) const;
+  BfsVariantRunner* RunnerForWidth(int width);
+  bool IsValid(const Query& query) const;
+  QueryResult ExtractResult(const Query& query, const Level* row) const;
+  void CompleteLocked(PendingQuery& pending, QueryStatus status);
+
+  const Graph& graph_;
+  Executor* executor_;
+  const QueryEngineOptions options_;
+
+  // Dispatcher-thread-only state: kernel instances cached per width,
+  // and the reusable batched level buffer.
+  std::unique_ptr<BfsVariantRunner> single_runner_;
+  std::vector<std::pair<int, std::unique_ptr<BfsVariantRunner>>>
+      batch_runners_;
+  std::vector<Level> levels_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  // wakes the dispatcher
+  std::condition_variable done_cv_;  // wakes Drain()
+  std::deque<PendingQuery> pending_;
+  uint64_t next_id_ = 1;
+  uint64_t outstanding_ = 0;  // admitted but not yet completed
+  bool stopping_ = false;
+  QueryEngineStats stats_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace pbfs
+
+#endif  // PBFS_ENGINE_QUERY_ENGINE_H_

@@ -39,6 +39,39 @@ inline SampleSummary Summarize(std::vector<double> values) {
   return s;
 }
 
+// Constant-space accumulator for unbounded metric streams — the
+// per-engine counters (batch occupancy, coalesce wait) a long-running
+// query engine must track without buffering every sample. Not
+// thread-safe; guard externally.
+class StreamingStats {
+ public:
+  void Add(double value) {
+    if (count_ == 0) {
+      min_ = max_ = value;
+    } else {
+      min_ = std::min(min_, value);
+      max_ = std::max(max_, value);
+    }
+    sum_ += value;
+    ++count_;
+  }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  // Zero when no sample has been added.
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
 // Ratio of the largest to the smallest positive element; the paper's
 // per-iteration worker skew metric (Figure 9). Returns 1.0 when no
 // element is positive.

@@ -65,6 +65,24 @@ TEST(DifferentialTest, RegistryEnumeratesAllVariants) {
   }
 }
 
+TEST(DifferentialTest, FindVariantRunnerResolvesEveryName) {
+  Graph g = Path(8);
+  SerialExecutor serial;
+  for (const std::string& name : AllVariantNames()) {
+    std::unique_ptr<BfsVariantRunner> runner =
+        FindVariantRunner(name, g, &serial);
+    ASSERT_NE(runner, nullptr) << name;
+    EXPECT_EQ(runner->desc().name, name);
+    // The by-name runner computes the same levels as the oracle.
+    std::vector<Vertex> sources = {0};
+    std::vector<Level> oracle = OracleLevels(g, sources);
+    std::vector<Level> got(oracle.size(), Level{0xABCD});
+    runner->ComputeLevels(sources, BfsOptions{}, got.data());
+    EXPECT_EQ(got, oracle) << name;
+  }
+  EXPECT_EQ(FindVariantRunner("no_such_variant", g, &serial), nullptr);
+}
+
 TEST(DifferentialTest, AllVariantsMatchOracleSerial) {
   SerialExecutor serial;
   for (int trial = 0; trial < diff::NumTrials(); ++trial) {

@@ -1,0 +1,351 @@
+// Concurrent query-engine suite: randomized concurrent submission
+// diffed against the sequential oracle (reusing the differential
+// corpus and PBFS_DIFF_SEED reproduction banner), width overflow,
+// degenerate queries, deadline/cancellation, counters, and a stress
+// pass under the steal_heavy / starvation StealPolicy schedules.
+//
+// Labeled engine + differential in CMake so the TSan and ASan+UBSan CI
+// legs run it; see docs/engine.md and docs/testing.md.
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/khop.h"
+#include "bfs/sequential.h"
+#include "differential/diff_util.h"
+#include "engine/query_engine.h"
+#include "graph/generators.h"
+#include "sched/steal_policy.h"
+#include "sched/worker_pool.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace pbfs {
+namespace {
+
+using diff::CorpusGraph;
+using diff::MakeCorpus;
+using diff::ReproNote;
+
+// Submit one kLevels query, wait, and diff the result byte-for-byte
+// against a fresh SequentialBfs run.
+void SubmitAndCheckLevels(QueryEngine* engine, const Graph& graph,
+                          Vertex source, const std::string& note) {
+  const Vertex n = graph.num_vertices();
+  Query query;
+  query.source = source;
+  QueryEngine::Submission sub = engine->Submit(std::move(query));
+  QueryResult result = sub.result.get();
+  ASSERT_EQ(result.status, QueryStatus::kOk) << note;
+  ASSERT_EQ(result.levels.size(), static_cast<size_t>(n)) << note;
+  std::vector<Level> expected(n);
+  SequentialBfs(graph, source, expected.data());
+  // Byte-identical, not just "plausible": first divergence is reported.
+  for (Vertex v = 0; v < n; ++v) {
+    ASSERT_EQ(result.levels[v], expected[v])
+        << "source=" << source << " vertex=" << v << " " << note;
+  }
+  uint64_t reached = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (expected[v] != kLevelUnreached) ++reached;
+  }
+  EXPECT_EQ(result.vertices_reached, reached) << note;
+}
+
+void ConcurrentOracleTrial(QueryEngine* engine, const Graph& graph,
+                           int num_clients, int queries_per_client,
+                           uint64_t seed, const std::string& note) {
+  std::vector<std::thread> clients;
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(SplitMix64(seed + static_cast<uint64_t>(c) * 0x9e37ull));
+      for (int q = 0; q < queries_per_client; ++q) {
+        SubmitAndCheckLevels(
+            engine, graph,
+            static_cast<Vertex>(rng.NextBounded(graph.num_vertices())), note);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+}
+
+TEST(QueryEngineDifferentialTest, ConcurrentSubmissionMatchesOracle) {
+  WorkerPool pool({.num_workers = 4, .pin_threads = false});
+  for (int trial = 0; trial < diff::NumTrials(); ++trial) {
+    const uint64_t seed = diff::TrialSeed(trial);
+    SCOPED_TRACE(ReproNote(seed));
+    for (const CorpusGraph& gc : MakeCorpus(seed)) {
+      if (gc.graph.num_vertices() == 0) continue;
+      QueryEngineOptions options;
+      options.coalesce_wait_ms = 0.05;
+      options.bfs.split_size = 128;  // small tasks so stealing happens
+      QueryEngine engine(gc.graph, &pool, options);
+      ConcurrentOracleTrial(&engine, gc.graph, /*num_clients=*/4,
+                            /*queries_per_client=*/4, seed,
+                            "graph=" + gc.name + " " + ReproNote(seed));
+      engine.Drain();
+      QueryEngineStats stats = engine.Stats();
+      EXPECT_EQ(stats.queries_admitted, 16u);
+      EXPECT_EQ(stats.queries_completed, 16u);
+    }
+  }
+}
+
+TEST(QueryEngineTest, WidthOverflowSplitsIntoMultipleBatches) {
+  Graph graph = ErdosRenyi(400, 1200, /*seed=*/42);
+  WorkerPool pool({.num_workers = 4, .pin_threads = false});
+  QueryEngineOptions options;
+  options.max_batch_width = 64;
+  options.coalesce_wait_ms = 5.0;  // let the burst pile up past the cap
+  QueryEngine engine(graph, &pool, options);
+
+  Rng rng(9);
+  std::vector<QueryEngine::Submission> subs;
+  std::vector<Vertex> sources;
+  // 3x the maximum width pending at once.
+  for (int q = 0; q < 192; ++q) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(graph.num_vertices()));
+    sources.push_back(s);
+    Query query;
+    query.source = s;
+    subs.push_back(engine.Submit(std::move(query)));
+  }
+  std::vector<Level> expected(graph.num_vertices());
+  for (size_t q = 0; q < subs.size(); ++q) {
+    QueryResult result = subs[q].result.get();
+    ASSERT_EQ(result.status, QueryStatus::kOk);
+    SequentialBfs(graph, sources[q], expected.data());
+    EXPECT_EQ(result.levels, expected) << "query " << q;
+  }
+  QueryEngineStats stats = engine.Stats();
+  // No dispatch may exceed the cap, so >= ceil(192/64) dispatches.
+  EXPECT_GE(stats.batches_run + stats.single_runs, 3u);
+  EXPECT_EQ(stats.queries_completed, 192u);
+  // Occupancy is queries per slot of the chosen width, in (0, 1].
+  EXPECT_GT(stats.batch_occupancy.mean(), 0.0);
+  EXPECT_LE(stats.batch_occupancy.max(), 1.0);
+}
+
+TEST(QueryEngineTest, DuplicateSourcesAndAllQueryTypes) {
+  Graph graph = ErdosRenyi(300, 700, /*seed=*/3);
+  WorkerPool pool({.num_workers = 3, .pin_threads = false});
+  QueryEngine engine(graph, &pool);
+  const Vertex n = graph.num_vertices();
+  const Vertex source = 17;
+
+  std::vector<Level> expected(n);
+  SequentialBfs(graph, source, expected.data());
+
+  // Duplicate-source queries of every type, submitted together so they
+  // land in one batch: answers must agree with each other and the
+  // oracle.
+  Query levels_q;
+  levels_q.source = source;
+  Query dup_q = levels_q;
+  Query dist_q;
+  dist_q.type = QueryType::kDistances;
+  dist_q.source = source;
+  dist_q.targets = {0, source, n - 1, 0};  // duplicates allowed
+  Query reach_q;
+  reach_q.type = QueryType::kReachability;
+  reach_q.source = source;
+  reach_q.targets = {0, n - 1};
+  Query khop_q;
+  khop_q.type = QueryType::kKHop;
+  khop_q.source = source;
+  khop_q.max_hops = 2;
+  Query empty_targets_q;
+  empty_targets_q.type = QueryType::kDistances;
+  empty_targets_q.source = source;
+
+  auto s1 = engine.Submit(std::move(levels_q));
+  auto s2 = engine.Submit(std::move(dup_q));
+  auto s3 = engine.Submit(std::move(dist_q));
+  auto s4 = engine.Submit(std::move(reach_q));
+  auto s5 = engine.Submit(std::move(khop_q));
+  auto s6 = engine.Submit(std::move(empty_targets_q));
+
+  QueryResult r1 = s1.result.get();
+  QueryResult r2 = s2.result.get();
+  ASSERT_EQ(r1.status, QueryStatus::kOk);
+  ASSERT_EQ(r2.status, QueryStatus::kOk);
+  EXPECT_EQ(r1.levels, r2.levels);
+  for (Vertex v = 0; v < n; ++v) ASSERT_EQ(r1.levels[v], expected[v]);
+
+  QueryResult r3 = s3.result.get();
+  ASSERT_EQ(r3.status, QueryStatus::kOk);
+  ASSERT_EQ(r3.levels.size(), 4u);
+  EXPECT_EQ(r3.levels[0], expected[0]);
+  EXPECT_EQ(r3.levels[1], 0);  // distance to itself
+  EXPECT_EQ(r3.levels[2], expected[n - 1]);
+  EXPECT_EQ(r3.levels[3], r3.levels[0]);
+
+  QueryResult r4 = s4.result.get();
+  ASSERT_EQ(r4.status, QueryStatus::kOk);
+  ASSERT_EQ(r4.reachable.size(), 2u);
+  EXPECT_EQ(r4.reachable[0], expected[0] != kLevelUnreached ? 1 : 0);
+  EXPECT_EQ(r4.reachable[1], expected[n - 1] != kLevelUnreached ? 1 : 0);
+
+  QueryResult r5 = s5.result.get();
+  ASSERT_EQ(r5.status, QueryStatus::kOk);
+  std::vector<uint64_t> khop_expected =
+      KHopSizesFromLevels({expected.data(), expected.size()}, 2);
+  EXPECT_EQ(r5.khop_sizes, khop_expected);
+
+  QueryResult r6 = s6.result.get();
+  ASSERT_EQ(r6.status, QueryStatus::kOk);
+  EXPECT_TRUE(r6.levels.empty());
+}
+
+TEST(QueryEngineTest, InvalidQueriesAreRejectedNotTraversed) {
+  Graph graph = Path(10);
+  WorkerPool pool({.num_workers = 2, .pin_threads = false});
+  QueryEngine engine(graph, &pool);
+
+  Query bad_source;
+  bad_source.source = 10;  // out of range
+  auto s1 = engine.Submit(std::move(bad_source));
+  EXPECT_EQ(s1.result.get().status, QueryStatus::kInvalid);
+
+  Query bad_target;
+  bad_target.type = QueryType::kDistances;
+  bad_target.source = 0;
+  bad_target.targets = {3, 99};
+  auto s2 = engine.Submit(std::move(bad_target));
+  EXPECT_EQ(s2.result.get().status, QueryStatus::kInvalid);
+
+  engine.Drain();
+  QueryEngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.queries_invalid, 2u);
+  EXPECT_EQ(stats.queries_completed, 0u);
+  EXPECT_EQ(stats.batches_run + stats.single_runs, 0u);
+}
+
+TEST(QueryEngineTest, CancelBeforeDispatch) {
+  Graph graph = Path(50);
+  WorkerPool pool({.num_workers = 2, .pin_threads = false});
+  QueryEngineOptions options;
+  // Long linger: the query stays in the admission queue long enough for
+  // a deterministic cancel (the test finishes as soon as the future is
+  // fulfilled, so nothing actually waits this long).
+  options.coalesce_wait_ms = 2000.0;
+  QueryEngine engine(graph, &pool, options);
+
+  Query query;
+  query.source = 1;
+  auto sub = engine.Submit(std::move(query));
+  EXPECT_TRUE(engine.Cancel(sub.id));
+  EXPECT_EQ(sub.result.get().status, QueryStatus::kCancelled);
+  EXPECT_FALSE(engine.Cancel(sub.id));  // already finished
+  QueryEngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.queries_cancelled, 1u);
+  EXPECT_EQ(stats.batches_run + stats.single_runs, 0u);
+}
+
+TEST(QueryEngineTest, CancelAfterDispatchFailsAndResultArrives) {
+  Graph graph = Path(50);
+  WorkerPool pool({.num_workers = 2, .pin_threads = false});
+  QueryEngineOptions options;
+  options.coalesce_wait_ms = 0.0;  // dispatch immediately
+  QueryEngine engine(graph, &pool, options);
+
+  Query query;
+  query.source = 0;
+  auto sub = engine.Submit(std::move(query));
+  QueryResult result = sub.result.get();  // wait until dispatched + done
+  EXPECT_EQ(result.status, QueryStatus::kOk);
+  EXPECT_FALSE(engine.Cancel(sub.id));
+  EXPECT_EQ(result.levels[49], 49);
+}
+
+TEST(QueryEngineTest, ExpiredDeadlineCompletesWithoutTraversal) {
+  Graph graph = Path(50);
+  WorkerPool pool({.num_workers = 2, .pin_threads = false});
+  QueryEngineOptions options;
+  options.coalesce_wait_ms = 0.0;
+  QueryEngine engine(graph, &pool, options);
+
+  Query query;
+  query.source = 0;
+  query.deadline_ns = NowNanos() - 1;  // already past
+  auto sub = engine.Submit(std::move(query));
+  EXPECT_EQ(sub.result.get().status, QueryStatus::kDeadlineExceeded);
+  engine.Drain();
+  EXPECT_EQ(engine.Stats().queries_expired, 1u);
+}
+
+TEST(QueryEngineTest, ShutdownCancelsQueuedQueries) {
+  Graph graph = Path(50);
+  WorkerPool pool({.num_workers = 2, .pin_threads = false});
+  std::future<QueryResult> pending_result;
+  {
+    QueryEngineOptions options;
+    options.coalesce_wait_ms = 2000.0;  // keep it queued until shutdown
+    QueryEngine engine(graph, &pool, options);
+    Query query;
+    query.source = 1;
+    pending_result = engine.Submit(std::move(query)).result;
+  }
+  EXPECT_EQ(pending_result.get().status, QueryStatus::kCancelled);
+}
+
+TEST(QueryEngineTest, CountersBalanceAfterMixedTraffic) {
+  Graph graph = ErdosRenyi(200, 500, /*seed=*/8);
+  WorkerPool pool({.num_workers = 3, .pin_threads = false});
+  QueryEngine engine(graph, &pool);
+  Rng rng(77);
+  std::vector<QueryEngine::Submission> subs;
+  for (int q = 0; q < 40; ++q) {
+    Query query;
+    query.source = static_cast<Vertex>(rng.NextBounded(250));  // some invalid
+    subs.push_back(engine.Submit(std::move(query)));
+  }
+  if (!subs.empty()) engine.Cancel(subs.front().id);  // may race dispatch
+  engine.Drain();
+  QueryEngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.queries_admitted, 40u);
+  EXPECT_EQ(stats.queries_completed + stats.queries_cancelled +
+                stats.queries_expired + stats.queries_invalid,
+            40u);
+  for (auto& sub : subs) {
+    EXPECT_TRUE(sub.result.wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready);
+  }
+}
+
+// The acceptance stress: concurrent clients through the engine while
+// the WorkerPool replays the steal_heavy and starvation schedules from
+// the scheduler perturbation suite. Runs under TSan via the
+// engine/differential labels.
+TEST(QueryEngineStressTest, ConcurrentClientsUnderPerturbedSchedules) {
+  Graph graph = ErdosRenyi(600, 2400, /*seed=*/1234);
+  WorkerPool pool({.num_workers = 4, .pin_threads = false});
+  const uint64_t seed = diff::TrialSeed(7);
+  for (const NamedStealPolicy& schedule : PerturbationSchedules()) {
+    if (schedule.name != "steal_heavy" && schedule.name != "starvation") {
+      continue;
+    }
+    SCOPED_TRACE(schedule.name);
+    // Installed between loops, before the engine's dispatcher exists.
+    pool.SetStealPolicy(schedule.policy);
+    {
+      QueryEngineOptions options;
+      options.coalesce_wait_ms = 0.1;
+      options.bfs.split_size = 64;  // many tasks -> many (forced) steals
+      QueryEngine engine(graph, &pool, options);
+      ConcurrentOracleTrial(&engine, graph, /*num_clients=*/4,
+                            /*queries_per_client=*/6, seed,
+                            "schedule=" + schedule.name + " " +
+                                ReproNote(seed));
+      engine.Drain();
+    }
+    pool.SetStealPolicy(nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace pbfs
