@@ -25,6 +25,7 @@
 #include "bfs/registry.h"
 #include "engine/query_engine.h"
 #include "graph/generators.h"
+#include "obs/trace_flag.h"
 #include "sched/worker_pool.h"
 #include "util/rng.h"
 
@@ -49,7 +50,10 @@ int main(int argc, char** argv) {
   flags.AddString("batch_variant", &batch_variant,
                   "registry name of the engine's batch kernel");
   flags.AddString("json_out", &json_out, "machine-readable output path");
+  pbfs::obs::TraceOutOption trace_out;
+  trace_out.Register(&flags);
   flags.Parse(argc, argv);
+  trace_out.Start();
 
   const pbfs::Vertex n = pbfs::Vertex{1} << vertices_log2;
   const pbfs::EdgeIndex m =
@@ -146,5 +150,6 @@ int main(int argc, char** argv) {
   json.Add("mean_batch_occupancy", stats.batch_occupancy.mean());
   json.Add("mean_coalesce_wait_ms", stats.coalesce_wait_ms.mean());
   json.WriteFile(json_out);
+  trace_out.Finish();
   return 0;
 }

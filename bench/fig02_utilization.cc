@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "obs/trace_flag.h"
 #include "bfs/batch.h"
 #include "graph/components.h"
 
@@ -38,7 +39,10 @@ int Main(int argc, char** argv) {
                  "thread count for the analytic model (paper: 60)");
   flags.AddInt64("batch", &batch, "sources per batch (paper: 64)");
   flags.AddInt64("max_sources", &max_sources, "largest source count");
+  obs::TraceOutOption trace_out;
+  trace_out.Register(&flags);
   flags.Parse(argc, argv);
+  trace_out.Start();
 
   bench::PrintTitle("Figure 2: CPU utilization (%) vs number of sources");
   std::printf("model machine: %lld threads, batch size %lld\n",
@@ -80,6 +84,7 @@ int Main(int argc, char** argv) {
                 static_cast<long long>(threads), parallel.threads_used,
                 static_cast<long long>(threads));
   }
+  trace_out.Finish();
   return 0;
 }
 

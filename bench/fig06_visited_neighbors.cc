@@ -12,6 +12,7 @@
 #include <numeric>
 
 #include "bench_common.h"
+#include "obs/trace_flag.h"
 #include "bfs/single_source.h"
 #include "graph/components.h"
 #include "sched/worker_pool.h"
@@ -29,7 +30,10 @@ int Main(int argc, char** argv) {
                  "log2 of social-network vertices");
   flags.AddInt64("workers", &workers, "static partitions (paper: 8)");
   flags.AddInt64("seed", &source_seed, "source selection seed");
+  obs::TraceOutOption trace_out;
+  trace_out.Register(&flags);
   flags.Parse(argc, argv);
+  trace_out.Start();
 
   Graph base = SocialNetwork({
       .num_vertices = Vertex{1} << vertices_log2,
@@ -88,6 +92,7 @@ int Main(int argc, char** argv) {
                   total > 0 ? 100.0 * per_worker[w] / total : 0.0);
     }
   }
+  trace_out.Finish();
   return 0;
 }
 

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "obs/trace_flag.h"
 #include "bfs/single_source.h"
 #include "graph/components.h"
 #include "sched/worker_pool.h"
@@ -26,7 +27,10 @@ int Main(int argc, char** argv) {
                  "log2 of social-network vertices");
   flags.AddInt64("workers", &workers, "static partitions (paper: 8)");
   flags.AddInt64("seed", &source_seed, "source selection seed");
+  obs::TraceOutOption trace_out;
+  trace_out.Register(&flags);
   flags.Parse(argc, argv);
+  trace_out.Start();
 
   Graph base = SocialNetwork({
       .num_vertices = Vertex{1} << vertices_log2,
@@ -68,6 +72,7 @@ int Main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  trace_out.Finish();
   return 0;
 }
 

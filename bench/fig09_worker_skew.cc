@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "obs/trace_flag.h"
 #include "bfs/multi_source.h"
 #include "bfs/single_source.h"
 #include "graph/components.h"
@@ -24,7 +25,10 @@ int Main(int argc, char** argv) {
   flags.AddInt64("scale", &scale, "Kronecker scale");
   flags.AddInt64("workers", &workers, "static partitions (paper: 8)");
   flags.AddInt64("batch", &batch, "MS-PBFS batch size");
+  obs::TraceOutOption trace_out;
+  trace_out.Register(&flags);
   flags.Parse(argc, argv);
+  trace_out.Start();
 
   Graph base = Kronecker({.scale = static_cast<int>(scale),
                           .edge_factor = 16, .seed = 1});
@@ -114,6 +118,7 @@ int Main(int argc, char** argv) {
       "\nexpected shape: ordered labeling shows by far the largest skew "
       "(paper: >15x in the hot iteration for SMS-PBFS); striped and random "
       "stay near 1; skew hits SMS-PBFS harder than MS-PBFS.\n");
+  trace_out.Finish();
   return 0;
 }
 

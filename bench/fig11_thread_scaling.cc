@@ -14,6 +14,7 @@
 #include "bench_common.h"
 #include "bfs/batch.h"
 #include "graph/components.h"
+#include "obs/trace_flag.h"
 
 namespace pbfs {
 namespace {
@@ -31,7 +32,10 @@ int Main(int argc, char** argv) {
   flags.AddInt64("batch", &batch, "sources per batch (paper: 64)");
   flags.AddInt64("sockets", &sockets,
                  "instances for the one-per-socket series");
+  obs::TraceOutOption trace_out;
+  trace_out.Register(&flags);
   flags.Parse(argc, argv);
+  trace_out.Start();
 
   Graph g = bench::BuildKronecker(
       static_cast<int>(scale), 16, Labeling::kStriped,
@@ -93,6 +97,7 @@ int Main(int argc, char** argv) {
       "\nexpected shape (on multi-core hardware): MS-PBFS scales near-"
       "linearly and beats per-core MS-BFS, whose cores stop sharing cache "
       "lines; one-per-socket tracks MS-PBFS closely (NUMA resilience).\n");
+  trace_out.Finish();
   return 0;
 }
 

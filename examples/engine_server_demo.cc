@@ -15,6 +15,7 @@
 
 #include "engine/query_engine.h"
 #include "graph/generators.h"
+#include "obs/trace_flag.h"
 #include "sched/worker_pool.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -33,7 +34,10 @@ int main(int argc, char** argv) {
   flags.AddInt64("queries_per_client", &queries_per_client,
                  "queries submitted by each client");
   flags.AddInt64("threads", &threads, "BFS worker threads");
+  pbfs::obs::TraceOutOption trace_out;
+  trace_out.Register(&flags);
   flags.Parse(argc, argv);
+  trace_out.Start();
 
   pbfs::Graph graph = pbfs::SocialNetwork({
       .num_vertices = pbfs::Vertex{1} << vertices_log2,
@@ -90,6 +94,9 @@ int main(int argc, char** argv) {
   }
   for (std::thread& t : client_threads) t.join();
   const double elapsed_s = timer.ElapsedSeconds();
+  // Settle the dispatcher's post-batch bookkeeping so the stats (and
+  // the trace's terminal events) cover every submitted query.
+  engine.Drain();
 
   const uint64_t total =
       static_cast<uint64_t>(clients) * static_cast<uint64_t>(queries_per_client);
@@ -100,5 +107,6 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(ok.load()), elapsed_s,
               static_cast<double>(total) / elapsed_s);
   std::printf("engine stats: %s\n", engine.Stats().ToString().c_str());
+  trace_out.Finish();
   return 0;
 }

@@ -6,6 +6,11 @@
 
 #include "util/aligned_buffer.h"
 
+#ifdef PBFS_TRACING
+#include "obs/trace.h"
+#include "util/timer.h"
+#endif
+
 namespace pbfs {
 namespace {
 
@@ -66,12 +71,15 @@ uint64_t TopDownDense(const Graph& graph, const uint64_t* frontier,
 // Bottom-up step. With `chunk_skip`, whole 64-vertex ranges that are
 // already fully seen are skipped (the SMS-PBFS (bit) optimization);
 // without it every unseen vertex is checked individually, as in the
-// GAPBS reference. Returns the number of awakened vertices.
+// GAPBS reference. Returns the number of awakened vertices; adds the
+// neighbor probes performed to *edges_scanned.
 uint64_t BottomUp(const Graph& graph, const uint64_t* frontier, uint64_t* next,
                   uint64_t* seen, Level* levels, Level depth, Vertex n,
-                  bool chunk_skip, uint64_t* scout_out) {
+                  bool chunk_skip, uint64_t* scout_out,
+                  uint64_t* edges_scanned) {
   uint64_t awake = 0;
   uint64_t scout = 0;
+  uint64_t edges = 0;
   const size_t num_words = (static_cast<size_t>(n) + 63) / 64;
   for (size_t w = 0; w < num_words; ++w) {
     uint64_t candidates = ~seen[w];
@@ -85,6 +93,7 @@ uint64_t BottomUp(const Graph& graph, const uint64_t* frontier, uint64_t* next,
       candidates &= candidates - 1;
       Vertex u = static_cast<Vertex>(w * 64 + bit);
       for (Vertex nb : graph.Neighbors(u)) {
+        ++edges;
         if (TestBit(frontier, nb)) {
           found |= uint64_t{1} << bit;
           if (levels != nullptr) levels[u] = depth;
@@ -100,6 +109,7 @@ uint64_t BottomUp(const Graph& graph, const uint64_t* frontier, uint64_t* next,
     }
   }
   *scout_out = scout;
+  *edges_scanned += edges;
   return awake;
 }
 
@@ -154,6 +164,21 @@ BfsResult BeamerBfs(const Graph& graph, Vertex source, BeamerVariant variant,
   Level depth = 0;
   bool bottom_up = false;
 
+#ifdef PBFS_TRACING
+  const bool tracing = obs::Tracer::Get().enabled();
+  // The level-span name is dynamic (one per Beamer variant), so it goes
+  // through the interner rather than a string literal.
+  const char* level_span_name =
+      tracing ? obs::Tracer::Intern(std::string(BeamerVariantName(variant)) +
+                                    ".level")
+              : nullptr;
+  obs::ScopedSpan run_span(
+      tracing ? obs::Tracer::Intern(std::string(BeamerVariantName(variant)) +
+                                    ".run")
+              : "beamer.run");
+  run_span.AddArg("source", source);
+#endif
+
   bool truncated = false;
   while (frontier_count > 0) {
     PBFS_CHECK(depth < kMaxLevel);
@@ -201,11 +226,18 @@ BfsResult BeamerBfs(const Graph& graph, Vertex source, BeamerVariant variant,
 
     edges_to_check -= std::min(edges_to_check, scout_count);
     uint64_t discovered = 0;
+    // Top-down scans exactly the frontier's outgoing edges, which is the
+    // scout count carried over from the previous iteration.
+    uint64_t edges_scanned = bottom_up ? 0 : scout_count;
+#ifdef PBFS_TRACING
+    const int64_t level_start_ns = tracing ? NowNanos() : 0;
+    const uint64_t frontier_entering = frontier_count;
+#endif
     if (bottom_up) {
       ++result.bottom_up_iterations;
       discovered = BottomUp(graph, front_bits.data(), next_bits.data(),
                             seen.data(), levels, depth, n, chunk_skip,
-                            &scout_count);
+                            &scout_count, &edges_scanned);
       std::swap(front_bits, next_bits);
       std::fill(next_bits.begin(), next_bits.end(), 0);
     } else if (frontier_is_dense) {
@@ -220,6 +252,20 @@ BfsResult BeamerBfs(const Graph& graph, Vertex source, BeamerVariant variant,
       frontier.swap(next);
       next.clear();
     }
+#ifdef PBFS_TRACING
+    if (tracing) {
+      obs::TraceEvent event =
+          obs::MakeSpan(level_span_name, level_start_ns, NowNanos());
+      event.AddArg("level", depth);
+      event.AddArg("bottom_up", bottom_up ? 1 : 0);
+      event.AddArg("frontier", frontier_entering);
+      event.AddArg("edges_scanned", edges_scanned);
+      event.AddArg("states_updated", discovered);
+      obs::Tracer::Get().Record(event);
+    }
+#else
+    (void)edges_scanned;
+#endif
     frontier_count = discovered;
     result.vertices_visited += discovered;
   }

@@ -30,6 +30,10 @@
 #include "util/check.h"
 #include "util/timer.h"
 
+#ifdef PBFS_TRACING
+#include "obs/bfs_instrument.h"
+#endif
+
 namespace pbfs {
 namespace {
 
@@ -77,6 +81,14 @@ class MsPbfs final : public MultiSourceBfsBase {
     const uint32_t split =
         PageAlignedSplitSize(options.split_size, sizeof(Bitset<kBits>));
     TraversalStats* stats = options.stats;
+#ifdef PBFS_TRACING
+    TraversalStats tracing_stats;
+    const bool tracing = obs::Tracer::Get().enabled();
+    if (tracing && stats == nullptr) stats = &tracing_stats;
+    obs::ScopedSpan run_span("ms-pbfs.run");
+    run_span.AddArg("width", static_cast<uint64_t>(kBits));
+    run_span.AddArg("sources", static_cast<uint64_t>(k));
+#endif
     if (stats != nullptr) stats->Reset(executor_->num_workers());
 
     // State may be dirty from a previous batch; clear in parallel with
@@ -128,6 +140,9 @@ class MsPbfs final : public MultiSourceBfsBase {
 
       for (WorkerReduction& r : reduction_) r = WorkerReduction{};
       Timer iteration_timer;
+#ifdef PBFS_TRACING
+      const int64_t level_start_ns = tracing ? NowNanos() : 0;
+#endif
 
       if (!bottom_up) {
         RunTopDown(n, split, depth, levels, stats);
@@ -148,6 +163,16 @@ class MsPbfs final : public MultiSourceBfsBase {
             bottom_up ? Direction::kBottomUp : Direction::kTopDown,
             iteration_timer.ElapsedMillis(), discovered_vertices);
       }
+#ifdef PBFS_TRACING
+      if (tracing && stats != nullptr) {
+        // frontier_vertices still holds the size entering this level; it
+        // is rolled forward below.
+        obs::EmitBfsLevel("ms-pbfs.level", level_start_ns, depth,
+                          bottom_up ? Direction::kBottomUp
+                                    : Direction::kTopDown,
+                          frontier_vertices, stats->iterations().back());
+      }
+#endif
 
       result.total_visits += discovered_visits;
       if (discovered_vertices > 0) {

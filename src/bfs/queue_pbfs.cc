@@ -21,6 +21,10 @@
 #include "util/check.h"
 #include "util/timer.h"
 
+#ifdef PBFS_TRACING
+#include "obs/bfs_instrument.h"
+#endif
+
 namespace pbfs {
 namespace {
 
@@ -56,6 +60,13 @@ class QueuePbfs final : public SingleSourceBfsBase {
     const Vertex n = graph_.num_vertices();
     PBFS_CHECK(source < n);
     TraversalStats* stats = options.stats;
+#ifdef PBFS_TRACING
+    TraversalStats tracing_stats;
+    const bool tracing = obs::Tracer::Get().enabled();
+    if (tracing && stats == nullptr) stats = &tracing_stats;
+    obs::ScopedSpan run_span("queue-pbfs.run");
+    run_span.AddArg("source", source);
+#endif
     if (stats != nullptr) stats->Reset(executor_->num_workers());
 
     std::memset(seen_.data(), 0, seen_.size_bytes());
@@ -94,6 +105,10 @@ class QueuePbfs final : public SingleSourceBfsBase {
       edges_to_check -= std::min(edges_to_check, scout_edges);
       for (WorkerReduction& r : reduction_) r = WorkerReduction{};
       Timer iteration_timer;
+#ifdef PBFS_TRACING
+      const int64_t level_start_ns = tracing ? NowNanos() : 0;
+      const uint64_t trace_frontier = frontier_size;
+#endif
 
       if (bottom_up) {
         if (frontier_is_queue) {
@@ -122,6 +137,14 @@ class QueuePbfs final : public SingleSourceBfsBase {
             bottom_up ? Direction::kBottomUp : Direction::kTopDown,
             iteration_timer.ElapsedMillis(), frontier_size);
       }
+#ifdef PBFS_TRACING
+      if (tracing && stats != nullptr) {
+        obs::EmitBfsLevel("queue-pbfs.level", level_start_ns, depth,
+                          bottom_up ? Direction::kBottomUp
+                                    : Direction::kTopDown,
+                          trace_frontier, stats->iterations().back());
+      }
+#endif
       result.vertices_visited += frontier_size;
       if (frontier_size > 0) {
         ++result.iterations;

@@ -23,6 +23,10 @@
 #include "util/check.h"
 #include "util/timer.h"
 
+#ifdef PBFS_TRACING
+#include "obs/bfs_instrument.h"
+#endif
+
 namespace pbfs {
 namespace {
 
@@ -105,6 +109,17 @@ class SmsPbfsByte final : public SingleSourceBfsBase {
     PBFS_CHECK(source < n);
     const uint32_t split = PageAlignedSplitSize(options.split_size, 1);
     TraversalStats* stats = options.stats;
+#ifdef PBFS_TRACING
+    // With an active trace session the per-level spans need the
+    // per-iteration counters, so substitute a kernel-local TraversalStats
+    // when the caller did not ask for one.
+    TraversalStats tracing_stats;
+    const bool tracing = obs::Tracer::Get().enabled();
+    if (tracing && stats == nullptr) stats = &tracing_stats;
+    obs::ScopedSpan run_span("sms-pbfs-byte.run");
+    run_span.AddArg("source", source);
+    uint64_t trace_frontier = 1;
+#endif
     if (stats != nullptr) stats->Reset(executor_->num_workers());
 
     ClearState(split);
@@ -125,6 +140,9 @@ class SmsPbfsByte final : public SingleSourceBfsBase {
       Direction direction = heuristic.Step();
       for (WorkerReduction& r : reduction_) r = WorkerReduction{};
       Timer iteration_timer;
+#ifdef PBFS_TRACING
+      const int64_t level_start_ns = tracing ? NowNanos() : 0;
+#endif
 
       if (direction == Direction::kTopDown) {
         TopDown(n, split, depth, levels, stats);
@@ -143,6 +161,13 @@ class SmsPbfsByte final : public SingleSourceBfsBase {
         stats->FinishIteration(direction, iteration_timer.ElapsedMillis(),
                                discovered);
       }
+#ifdef PBFS_TRACING
+      if (tracing && stats != nullptr) {
+        obs::EmitBfsLevel(kTraceLevelName, level_start_ns, depth, direction,
+                          trace_frontier, stats->iterations().back());
+      }
+      trace_frontier = discovered;
+#endif
       result.vertices_visited += discovered;
       if (discovered > 0) {
         ++result.iterations;
@@ -154,6 +179,10 @@ class SmsPbfsByte final : public SingleSourceBfsBase {
   }
 
  private:
+#ifdef PBFS_TRACING
+  static constexpr const char* kTraceLevelName = "sms-pbfs-byte.level";
+#endif
+
   void ClearState(uint32_t split) {
     executor_->FirstTouchFor(
         graph_.num_vertices(), split, [this](int, uint64_t b, uint64_t e) {
@@ -305,6 +334,14 @@ class SmsPbfsBit final : public SingleSourceBfsBase {
     const uint32_t split = (std::max<uint32_t>(options.split_size, 64) + 63) /
                            64 * 64;
     TraversalStats* stats = options.stats;
+#ifdef PBFS_TRACING
+    TraversalStats tracing_stats;
+    const bool tracing = obs::Tracer::Get().enabled();
+    if (tracing && stats == nullptr) stats = &tracing_stats;
+    obs::ScopedSpan run_span("sms-pbfs-bit.run");
+    run_span.AddArg("source", source);
+    uint64_t trace_frontier = 1;
+#endif
     if (stats != nullptr) stats->Reset(executor_->num_workers());
 
     ClearState();
@@ -325,6 +362,9 @@ class SmsPbfsBit final : public SingleSourceBfsBase {
       Direction direction = heuristic.Step();
       for (WorkerReduction& r : reduction_) r = WorkerReduction{};
       Timer iteration_timer;
+#ifdef PBFS_TRACING
+      const int64_t level_start_ns = tracing ? NowNanos() : 0;
+#endif
 
       if (direction == Direction::kTopDown) {
         TopDown(n, split, depth, levels, stats);
@@ -343,6 +383,13 @@ class SmsPbfsBit final : public SingleSourceBfsBase {
         stats->FinishIteration(direction, iteration_timer.ElapsedMillis(),
                                discovered);
       }
+#ifdef PBFS_TRACING
+      if (tracing && stats != nullptr) {
+        obs::EmitBfsLevel(kTraceLevelName, level_start_ns, depth, direction,
+                          trace_frontier, stats->iterations().back());
+      }
+      trace_frontier = discovered;
+#endif
       result.vertices_visited += discovered;
       if (discovered > 0) {
         ++result.iterations;
@@ -354,6 +401,10 @@ class SmsPbfsBit final : public SingleSourceBfsBase {
   }
 
  private:
+#ifdef PBFS_TRACING
+  static constexpr const char* kTraceLevelName = "sms-pbfs-bit.level";
+#endif
+
   static bool TestBit(const uint64_t* words, Vertex v) {
     return (words[v >> 6] >> (v & 63)) & 1;
   }

@@ -9,6 +9,28 @@
 #include "util/check.h"
 #include "util/timer.h"
 
+#ifdef PBFS_TRACING
+#include "obs/trace.h"
+#endif
+
+#ifdef PBFS_TRACING
+namespace {
+
+// Terminal instant for one query. Exactly one is emitted per admitted
+// query — the obs engine test counts them against queries_admitted.
+void TraceQueryDone(uint64_t id, pbfs::QueryStatus status) {
+  pbfs::obs::Tracer& tracer = pbfs::obs::Tracer::Get();
+  if (!tracer.enabled()) return;
+  pbfs::obs::TraceEvent event =
+      pbfs::obs::MakeInstant("query.done", pbfs::NowNanos());
+  event.AddArg("query", id);
+  event.AddArg("status", static_cast<uint64_t>(status));
+  tracer.Record(event);
+}
+
+}  // namespace
+#endif
+
 namespace pbfs {
 
 const char* QueryTypeName(QueryType type) {
@@ -40,13 +62,14 @@ const char* QueryStatusName(QueryStatus status) {
 }
 
 std::string QueryEngineStats::ToString() const {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
       "queries: %llu admitted, %llu ok, %llu cancelled, %llu expired, "
       "%llu invalid | dispatches: %llu batches, %llu single | "
       "occupancy: mean %.2f (min %.2f, max %.2f) | "
-      "coalesce wait: mean %.3f ms (max %.3f ms)",
+      "coalesce wait: mean %.3f ms (max %.3f ms) | "
+      "latency: p50 %.3f ms, p99 %.3f ms, max %.3f ms",
       static_cast<unsigned long long>(queries_admitted),
       static_cast<unsigned long long>(queries_completed),
       static_cast<unsigned long long>(queries_cancelled),
@@ -55,7 +78,8 @@ std::string QueryEngineStats::ToString() const {
       static_cast<unsigned long long>(batches_run),
       static_cast<unsigned long long>(single_runs), batch_occupancy.mean(),
       batch_occupancy.min(), batch_occupancy.max(), coalesce_wait_ms.mean(),
-      coalesce_wait_ms.max());
+      coalesce_wait_ms.max(), latency_ms.Quantile(0.5),
+      latency_ms.Quantile(0.99), latency_ms.max());
   return buf;
 }
 
@@ -90,11 +114,22 @@ QueryEngine::Submission QueryEngine::Submit(Query query) {
   std::lock_guard<std::mutex> lock(mutex_);
   submission.id = next_id_++;
   ++stats_.queries_admitted;
+#ifdef PBFS_TRACING
+  if (obs::Tracer::Get().enabled()) {
+    obs::TraceEvent event = obs::MakeInstant("query.submit", NowNanos());
+    event.AddArg("query", submission.id);
+    event.AddArg("type", static_cast<uint64_t>(query.type));
+    obs::Tracer::Get().Record(event);
+  }
+#endif
   if (stopping_) {
     QueryResult result;
     result.status = QueryStatus::kCancelled;
     ++stats_.queries_cancelled;
     promise.set_value(std::move(result));
+#ifdef PBFS_TRACING
+    TraceQueryDone(submission.id, QueryStatus::kCancelled);
+#endif
     return submission;
   }
   ++outstanding_;
@@ -142,6 +177,9 @@ void QueryEngine::CompleteLocked(PendingQuery& pending, QueryStatus status) {
       break;
   }
   pending.promise.set_value(std::move(result));
+#ifdef PBFS_TRACING
+  TraceQueryDone(pending.id, status);
+#endif
   PBFS_CHECK(outstanding_ > 0);
   --outstanding_;
   done_cv_.notify_all();
@@ -157,6 +195,9 @@ bool QueryEngine::IsValid(const Query& query) const {
 }
 
 void QueryEngine::DispatcherMain() {
+#ifdef PBFS_TRACING
+  obs::Tracer::SetThreadLabel("engine-dispatcher", -1);
+#endif
   const int64_t linger_ns =
       static_cast<int64_t>(options_.coalesce_wait_ms * 1e6);
   std::unique_lock<std::mutex> lock(mutex_);
@@ -180,6 +221,7 @@ void QueryEngine::DispatcherMain() {
     if (batch.empty()) continue;
     lock.unlock();
     const int width = ExecuteBatch(batch);
+    const int64_t batch_done_ns = NowNanos();
     lock.lock();
     if (batch.size() == 1) {
       ++stats_.single_runs;
@@ -189,6 +231,10 @@ void QueryEngine::DispatcherMain() {
                                  static_cast<double>(width));
     }
     stats_.queries_completed += batch.size();
+    for (const PendingQuery& q : batch) {
+      stats_.latency_ms.Add(
+          static_cast<double>(batch_done_ns - q.submit_ns) / 1e6);
+    }
     PBFS_CHECK(outstanding_ >= batch.size());
     outstanding_ -= batch.size();
     done_cv_.notify_all();
@@ -243,6 +289,10 @@ BfsVariantRunner* QueryEngine::RunnerForWidth(int width) {
 int QueryEngine::ExecuteBatch(std::vector<PendingQuery>& batch) {
   const Vertex n = graph_.num_vertices();
   const size_t count = batch.size();
+#ifdef PBFS_TRACING
+  obs::ScopedSpan batch_span(count == 1 ? "engine.single" : "engine.batch");
+  batch_span.AddArg("queries", count);
+#endif
   std::vector<Vertex> sources(count);
   // Bounded traversal when every query in the batch is radius-bounded
   // (k-hop): the batch only travels as far as its widest radius.
@@ -268,11 +318,17 @@ int QueryEngine::ExecuteBatch(std::vector<PendingQuery>& batch) {
   // resize, not assign: every kernel overwrites all count * n entries
   // (unreached vertices get kLevelUnreached), so re-zeroing the reused
   // buffer would only add a full memory pass per batch.
+#ifdef PBFS_TRACING
+  batch_span.AddArg("width", static_cast<uint64_t>(width));
+#endif
   levels_.resize(count * static_cast<size_t>(n));
   runner->ComputeLevels(sources, options, levels_.data());
   for (size_t i = 0; i < count; ++i) {
     batch[i].promise.set_value(
         ExtractResult(batch[i].query, levels_.data() + i * n));
+#ifdef PBFS_TRACING
+    TraceQueryDone(batch[i].id, QueryStatus::kOk);
+#endif
   }
   return width;
 }

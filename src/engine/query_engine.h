@@ -74,6 +74,11 @@ struct QueryEngineStats {
   StreamingStats batch_occupancy;
   // Submit-to-dispatch wall time per traversed query.
   StreamingStats coalesce_wait_ms;
+  // End-to-end submit-to-completion latency, one sample per query that
+  // finishes kOk (so count() always equals queries_completed). Log
+  // buckets from 1 us up; quantiles via Histogram::Quantile.
+  Histogram latency_ms{/*min_bound=*/1e-3, /*growth=*/2.0,
+                       /*num_log_buckets=*/32};
 
   std::string ToString() const;
 };

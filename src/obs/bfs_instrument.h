@@ -1,0 +1,56 @@
+// Per-level trace emission shared by the instrumented BFS kernels.
+// Only included from kernel .cc files inside `#ifdef PBFS_TRACING`
+// blocks, so an OFF build never sees these symbols.
+//
+// Every kernel emits one complete span per BFS level, named
+// "<kernel>.level", with the same argument set:
+//   level          1-based BFS depth of the iteration
+//   bottom_up      1 for a bottom-up iteration, 0 for top-down
+//   frontier       vertices in the frontier entering the iteration
+//   edges_scanned  neighbor probes performed this iteration
+//   states_updated vertices newly discovered this iteration
+// The obs invariant tests assert these against a sequential oracle
+// (per-level edges_scanned of a pure top-down traversal must equal the
+// degree sum of the previous level's vertices, and states_updated must
+// sum to the reached count), so the numbers are load-bearing — not just
+// decoration for the timeline view.
+#ifndef PBFS_OBS_BFS_INSTRUMENT_H_
+#define PBFS_OBS_BFS_INSTRUMENT_H_
+
+#ifdef PBFS_TRACING
+
+#include <cstdint>
+
+#include "bfs/common.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace pbfs {
+namespace obs {
+
+// Emits the per-level span for the iteration snapshot `iter` (the one
+// just pushed by TraversalStats::FinishIteration), ending now.
+inline void EmitBfsLevel(const char* name, int64_t start_ns, Level depth,
+                         Direction direction, uint64_t frontier,
+                         const TraversalStats::Iteration& iter) {
+  Tracer& tracer = Tracer::Get();
+  if (!tracer.enabled()) return;
+  uint64_t edges = 0;
+  uint64_t updated = 0;
+  for (uint64_t x : iter.neighbors_visited) edges += x;
+  for (uint64_t x : iter.states_updated) updated += x;
+  TraceEvent event = MakeSpan(name, start_ns, NowNanos());
+  event.AddArg("level", depth);
+  event.AddArg("bottom_up", direction == Direction::kBottomUp ? 1 : 0);
+  event.AddArg("frontier", frontier);
+  event.AddArg("edges_scanned", edges);
+  event.AddArg("states_updated", updated);
+  tracer.Record(event);
+}
+
+}  // namespace obs
+}  // namespace pbfs
+
+#endif  // PBFS_TRACING
+
+#endif  // PBFS_OBS_BFS_INSTRUMENT_H_

@@ -1,0 +1,127 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pbfs {
+namespace obs {
+namespace {
+
+// Microseconds relative to the session start, as a JSON number. Chrome
+// accepts fractional microsecond timestamps.
+void AppendMicros(std::ostream& os, int64_t ns, int64_t base_ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(ns - base_ns) / 1e3);
+  os << buf;
+}
+
+void AppendArgs(std::ostream& os, const TraceEvent& event) {
+  os << "\"args\":{";
+  for (int i = 0; i < event.num_args; ++i) {
+    if (i > 0) os << ',';
+    os << '"' << JsonEscape(event.args[i].name) << "\":"
+       << event.args[i].value;
+  }
+  os << '}';
+}
+
+void AppendEvent(std::ostream& os, const TraceEvent& event, uint64_t tid,
+                 int64_t base_ns) {
+  const char* name = event.name != nullptr ? event.name : "(unnamed)";
+  os << "{\"pid\":1,\"tid\":" << tid << ",\"name\":\"" << JsonEscape(name)
+     << "\",\"ts\":";
+  AppendMicros(os, event.ts_ns, base_ns);
+  switch (event.type) {
+    case TraceEventType::kSpan:
+      os << ",\"ph\":\"X\",\"dur\":";
+      AppendMicros(os, event.dur_ns, 0);
+      break;
+    case TraceEventType::kInstant:
+      // Thread-scoped instant marker.
+      os << ",\"ph\":\"i\",\"s\":\"t\"";
+      break;
+    case TraceEventType::kCounter:
+      os << ",\"ph\":\"C\"";
+      break;
+  }
+  os << ',';
+  AppendArgs(os, event);
+  os << '}';
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WriteChromeTrace(const TraceDump& dump, std::ostream& os) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const int64_t base_ns = dump.session_start_ns;
+  for (const TraceThreadDump& thread : dump.threads) {
+    // Metadata: thread name shown on the Perfetto track.
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"pid\":1,\"tid\":" << thread.tid
+       << ",\"ph\":\"M\",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << JsonEscape(thread.label) << "\"}}";
+    for (const TraceEvent& event : thread.events) {
+      os << ",\n";
+      AppendEvent(os, event, thread.tid, base_ns);
+    }
+  }
+  os << "],\n\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
+     << dump.total_dropped() << "}}\n";
+}
+
+std::string ChromeTraceJson(const TraceDump& dump) {
+  std::ostringstream os;
+  WriteChromeTrace(dump, os);
+  return os.str();
+}
+
+bool WriteChromeTraceFile(const TraceDump& dump, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write trace to %s\n", path.c_str());
+    return false;
+  }
+  WriteChromeTrace(dump, out);
+  return out.good();
+}
+
+}  // namespace obs
+}  // namespace pbfs

@@ -1,0 +1,43 @@
+// Chrome trace_event JSON exporter for TraceDumps.
+//
+// The output is the "JSON object format" of the Chrome trace_event
+// specification: {"traceEvents": [...], "displayTimeUnit": "ms"}.
+// Load it in about://tracing or https://ui.perfetto.dev to see
+// per-worker timelines of BFS levels, scheduler loops, and engine
+// batches. Timestamps are microseconds relative to the session start
+// (Chrome requires microseconds); spans map to "X" complete events,
+// instants to "i", counters to "C", and each thread gets a
+// "thread_name" metadata event carrying its label.
+//
+// All names and labels are JSON-escaped, and a zero-event dump still
+// produces a valid document, so the output always parses.
+#ifndef PBFS_OBS_CHROME_TRACE_H_
+#define PBFS_OBS_CHROME_TRACE_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/trace.h"
+
+namespace pbfs {
+namespace obs {
+
+// Escapes `s` for inclusion inside a JSON string literal (quotes,
+// backslashes, and control characters; non-ASCII bytes pass through,
+// which is valid JSON as long as the input is UTF-8).
+std::string JsonEscape(std::string_view s);
+
+// Writes `dump` as Chrome trace_event JSON.
+void WriteChromeTrace(const TraceDump& dump, std::ostream& os);
+
+// Convenience wrapper: serialize to a string.
+std::string ChromeTraceJson(const TraceDump& dump);
+
+// Writes to `path`; returns false (with a note on stderr) on I/O error.
+bool WriteChromeTraceFile(const TraceDump& dump, const std::string& path);
+
+}  // namespace obs
+}  // namespace pbfs
+
+#endif  // PBFS_OBS_CHROME_TRACE_H_

@@ -1,0 +1,128 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pbfs {
+namespace obs {
+namespace {
+
+using Entry = MetricsSnapshot::Entry;
+
+// Per-thread partial aggregate keyed by name pointer identity first
+// (names are interned / literal, so pointer equality is the common
+// case), falling back to string compare via the map key.
+void Accumulate(std::map<std::string, Entry>& by_name,
+                const TraceThreadDump& thread) {
+  for (const TraceEvent& event : thread.events) {
+    const char* name = event.name != nullptr ? event.name : "(unnamed)";
+    Entry& entry = by_name[name];
+    entry.name = name;
+    switch (event.type) {
+      case TraceEventType::kSpan: {
+        ++entry.spans;
+        const double us = static_cast<double>(event.dur_ns) / 1e3;
+        entry.duration_us.Add(us);
+        entry.duration_hist_us.Add(us);
+        break;
+      }
+      case TraceEventType::kInstant:
+        ++entry.instants;
+        break;
+      case TraceEventType::kCounter:
+        ++entry.counters;
+        break;
+    }
+    for (int a = 0; a < event.num_args; ++a) {
+      entry.arg_totals[event.args[a].name] += event.args[a].value;
+    }
+  }
+}
+
+void MergeEntry(Entry& into, const Entry& from) {
+  into.spans += from.spans;
+  into.instants += from.instants;
+  into.counters += from.counters;
+  into.duration_us.Merge(from.duration_us);
+  into.duration_hist_us.Merge(from.duration_hist_us);
+  for (const auto& [arg, total] : from.arg_totals) {
+    into.arg_totals[arg] += total;
+  }
+}
+
+}  // namespace
+
+const Entry* MetricsSnapshot::Find(std::string_view name) const {
+  for (const Entry& entry : entries) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%d threads, %llu events (%llu dropped)\n", num_threads,
+                static_cast<unsigned long long>(total_events),
+                static_cast<unsigned long long>(dropped_events));
+  out += line;
+  for (const Entry& entry : entries) {
+    std::snprintf(line, sizeof(line), "  %-28s", entry.name.c_str());
+    out += line;
+    if (entry.spans > 0) {
+      std::snprintf(line, sizeof(line),
+                    " spans=%llu mean=%.1fus p50=%.1fus p99=%.1fus",
+                    static_cast<unsigned long long>(entry.spans),
+                    entry.duration_us.mean(),
+                    entry.duration_hist_us.Quantile(0.5),
+                    entry.duration_hist_us.Quantile(0.99));
+      out += line;
+    }
+    if (entry.instants > 0) {
+      std::snprintf(line, sizeof(line), " instants=%llu",
+                    static_cast<unsigned long long>(entry.instants));
+      out += line;
+    }
+    if (entry.counters > 0) {
+      std::snprintf(line, sizeof(line), " counters=%llu",
+                    static_cast<unsigned long long>(entry.counters));
+      out += line;
+    }
+    for (const auto& [arg, total] : entry.arg_totals) {
+      std::snprintf(line, sizeof(line), " %s=%llu", arg.c_str(),
+                    static_cast<unsigned long long>(total));
+      out += line;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+MetricsSnapshot AggregateMetrics(const TraceDump& dump) {
+  MetricsSnapshot snapshot;
+  snapshot.num_threads = static_cast<int>(dump.threads.size());
+  snapshot.dropped_events = dump.total_dropped();
+
+  // Reduce per thread, then merge the partials — the same shape as a
+  // per-worker collector fan-in, and it exercises the Merge paths the
+  // invariant tests pin down.
+  std::map<std::string, Entry> merged;
+  for (const TraceThreadDump& thread : dump.threads) {
+    snapshot.total_events += thread.events.size();
+    std::map<std::string, Entry> partial;
+    Accumulate(partial, thread);
+    for (const auto& [name, entry] : partial) {
+      auto [it, inserted] = merged.try_emplace(name, entry);
+      if (!inserted) MergeEntry(it->second, entry);
+    }
+  }
+  snapshot.entries.reserve(merged.size());
+  for (auto& [name, entry] : merged) {
+    snapshot.entries.push_back(std::move(entry));
+  }
+  return snapshot;
+}
+
+}  // namespace obs
+}  // namespace pbfs

@@ -1,0 +1,56 @@
+// Aggregated view of a TraceDump: per-event-name counts, duration
+// statistics, and argument totals, reduced across workers.
+//
+// The Chrome trace is for looking at one run in a timeline UI; the
+// MetricsSnapshot is for asserting on a run (the obs invariant tests)
+// and for printing a compact summary at the end of a bench. Per-thread
+// duration statistics are folded together with StreamingStats::Merge
+// and Histogram::Merge, so the aggregation path is the same one a
+// sharded production collector would use.
+#ifndef PBFS_OBS_METRICS_H_
+#define PBFS_OBS_METRICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/stats.h"
+
+namespace pbfs {
+namespace obs {
+
+struct MetricsSnapshot {
+  struct Entry {
+    std::string name;
+    uint64_t spans = 0;
+    uint64_t instants = 0;
+    uint64_t counters = 0;
+    // Span durations in microseconds, merged across threads.
+    StreamingStats duration_us;
+    Histogram duration_hist_us{/*min_bound=*/1.0, /*growth=*/2.0,
+                               /*num_log_buckets=*/32};
+    // Sum of each named numeric argument over all events of this name.
+    std::map<std::string, uint64_t> arg_totals;
+  };
+
+  int num_threads = 0;
+  uint64_t total_events = 0;
+  uint64_t dropped_events = 0;
+  std::vector<Entry> entries;  // sorted by name
+
+  // Entry for `name`, or nullptr.
+  const Entry* Find(std::string_view name) const;
+
+  // Multi-line human-readable table.
+  std::string ToString() const;
+};
+
+// Reduces a dump: builds one partial aggregate per thread, then merges
+// them (exactly-once per event, order-independent).
+MetricsSnapshot AggregateMetrics(const TraceDump& dump);
+
+}  // namespace obs
+}  // namespace pbfs
+
+#endif  // PBFS_OBS_METRICS_H_

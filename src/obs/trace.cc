@@ -1,0 +1,132 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace pbfs {
+namespace obs {
+namespace {
+
+// Sticky per-thread identity, set by SetThreadLabel before (or after) a
+// session exists and copied into the session buffer at registration.
+struct ThreadLabel {
+  char role[24] = "thread";
+  int worker_id = -1;
+};
+
+thread_local ThreadLabel tls_label;
+thread_local ThreadTrace* tls_buffer = nullptr;
+thread_local uint64_t tls_generation = 0;  // 0 = never registered
+
+}  // namespace
+
+Tracer& Tracer::Get() {
+  static Tracer* tracer = new Tracer();  // never destroyed: threads may
+  return *tracer;                        // record during static teardown
+}
+
+void Tracer::Start(const Options& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PBFS_CHECK(!enabled());  // no nested sessions
+  PBFS_CHECK(options.events_per_thread > 0);
+  events_per_thread_ = options.events_per_thread;
+  session_buffers_.clear();
+  session_start_ns_ = NowNanos();
+  // Bump the generation first (release), then enable: a thread that sees
+  // enabled == true is guaranteed to re-register against this session.
+  generation_.fetch_add(1, std::memory_order_release);
+  enabled_.store(true, std::memory_order_release);
+}
+
+TraceDump Tracer::Stop() {
+  // Disable before taking the lock so recording threads start bailing
+  // out immediately; a straggler that passed the enabled check appends
+  // past the head we collect (or is dropped), never into it.
+  enabled_.store(false, std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceDump dump;
+  dump.session_start_ns = session_start_ns_;
+  dump.session_end_ns = NowNanos();
+  for (ThreadTrace* buffer : session_buffers_) {
+    TraceThreadDump thread;
+    thread.label = buffer->label_;
+    thread.worker_id = buffer->worker_id_;
+    // tid: stable index into all_buffers_ (1-based assignment order).
+    for (size_t i = 0; i < all_buffers_.size(); ++i) {
+      if (all_buffers_[i].get() == buffer) thread.tid = i + 1;
+    }
+    const uint64_t head = buffer->head_.load(std::memory_order_acquire);
+    const uint64_t count = std::min<uint64_t>(head, buffer->events_.size());
+    thread.events.assign(buffer->events_.begin(),
+                         buffer->events_.begin() + count);
+    thread.dropped = buffer->dropped_.load(std::memory_order_relaxed);
+    dump.threads.push_back(std::move(thread));
+  }
+  session_buffers_.clear();
+  return dump;
+}
+
+ThreadTrace* Tracer::CurrentThreadBuffer() {
+  const uint64_t generation = generation_.load(std::memory_order_acquire);
+  if (tls_generation == generation) return tls_buffer;
+  tls_buffer = RegisterCurrentThread(generation);
+  tls_generation = generation;
+  return tls_buffer;
+}
+
+ThreadTrace* Tracer::RegisterCurrentThread(uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The session may have ended (or rolled over) since the caller's
+  // enabled check; registering against a dead session would record into
+  // a buffer nobody collects, so re-check under the lock.
+  if (!enabled() ||
+      generation_.load(std::memory_order_relaxed) != generation) {
+    return nullptr;
+  }
+  // Reuse this thread's permanent buffer if it has one from an earlier
+  // session; the owning thread is the only writer, so resetting the
+  // head here (before any Append of this session) is race-free.
+  ThreadTrace* buffer = tls_buffer;
+  if (buffer == nullptr) {
+    all_buffers_.push_back(std::make_unique<ThreadTrace>());
+    buffer = all_buffers_.back().get();
+  }
+  buffer->head_.store(0, std::memory_order_relaxed);
+  buffer->dropped_.store(0, std::memory_order_relaxed);
+  buffer->events_.resize(events_per_thread_);
+  if (tls_label.worker_id >= 0) {
+    char label[40];
+    std::snprintf(label, sizeof(label), "%s-%d", tls_label.role,
+                  tls_label.worker_id);
+    buffer->label_ = label;
+  } else {
+    buffer->label_ = tls_label.role;
+  }
+  buffer->worker_id_ = tls_label.worker_id;
+  session_buffers_.push_back(buffer);
+  return buffer;
+}
+
+void Tracer::SetThreadLabel(const char* role, int worker_id) {
+  std::snprintf(tls_label.role, sizeof(tls_label.role), "%s", role);
+  tls_label.worker_id = worker_id;
+  // Force re-registration so a label change mid-session is picked up.
+  tls_generation = 0;
+  tls_buffer = nullptr;
+}
+
+const char* Tracer::Intern(std::string_view s) {
+  static std::mutex intern_mutex;
+  // unordered_set<std::string> never moves its elements, so the c_str()
+  // pointers stay valid for the process lifetime.
+  static std::unordered_set<std::string>* interned =
+      new std::unordered_set<std::string>();
+  std::lock_guard<std::mutex> lock(intern_mutex);
+  return interned->emplace(s).first->c_str();
+}
+
+}  // namespace obs
+}  // namespace pbfs

@@ -1,0 +1,64 @@
+// Shared `--trace-out=PATH` wiring for the demo and bench binaries:
+// register the flag, Start() after parsing, Finish() before exit. When
+// a path was given, Finish() stops the tracer and writes a Chrome
+// trace_event JSON file there. When the library was built with
+// PBFS_TRACING=OFF the flag still parses (so scripts don't break) but
+// Start() warns once on stderr that no events will be recorded.
+#ifndef PBFS_OBS_TRACE_FLAG_H_
+#define PBFS_OBS_TRACE_FLAG_H_
+
+#include <cstdio>
+#include <string>
+
+#include "util/flags.h"
+
+#ifdef PBFS_TRACING
+#include "obs/chrome_trace.h"
+#include "obs/trace.h"
+#endif
+
+namespace pbfs {
+namespace obs {
+
+class TraceOutOption {
+ public:
+  void Register(FlagParser* flags) {
+    flags->AddString("trace-out", &path_,
+                     "write a Chrome trace_event JSON file here");
+  }
+
+  // Call once after Parse(). No-op when the flag was not given.
+  void Start() {
+    if (path_.empty()) return;
+#ifdef PBFS_TRACING
+    Tracer::Get().Start({});
+#else
+    std::fprintf(stderr,
+                 "--trace-out=%s ignored: built with PBFS_TRACING=OFF\n",
+                 path_.c_str());
+#endif
+  }
+
+  // Call once before exit; stops the session and writes the file.
+  void Finish() {
+    if (path_.empty()) return;
+#ifdef PBFS_TRACING
+    TraceDump dump = Tracer::Get().Stop();
+    if (WriteChromeTraceFile(dump, path_)) {
+      std::fprintf(stderr, "trace: %llu events from %zu threads -> %s\n",
+                   static_cast<unsigned long long>(dump.total_events()),
+                   dump.threads.size(), path_.c_str());
+    }
+#endif
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace obs
+}  // namespace pbfs
+
+#endif  // PBFS_OBS_TRACE_FLAG_H_

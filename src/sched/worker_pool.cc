@@ -5,7 +5,21 @@
 #include "platform/thread_pin.h"
 #include "util/check.h"
 
+#ifdef PBFS_TRACING
+#include "obs/trace.h"
+#include "util/timer.h"
+#endif
+
 namespace pbfs {
+
+#ifdef PBFS_TRACING
+namespace {
+// Distinguishes concurrent loops in a trace: the coordinating
+// "sched.parallel_for" span and each worker's "sched.worker_loop" span
+// carry the same loop id, so per-loop task balance is checkable.
+std::atomic<uint64_t> g_loop_counter{1};
+}  // namespace
+#endif
 
 WorkerPool::WorkerPool(const Options& options)
     : num_workers_(options.num_workers), queues_(options.num_workers) {
@@ -49,6 +63,9 @@ WorkerPool::~WorkerPool() {
 
 void WorkerPool::WorkerMain(int worker_id, int cpu) {
   if (cpu >= 0) PinCurrentThreadToCpu(cpu);
+#ifdef PBFS_TRACING
+  obs::Tracer::SetThreadLabel("worker", worker_id);
+#endif
   uint64_t seen_epoch = 0;
   for (;;) {
     const std::function<void(int)>* job = nullptr;
@@ -87,11 +104,24 @@ void WorkerPool::ParallelFor(uint64_t total, uint32_t split_size,
   // later manual Fetch (e.g. benches driving queues via RunOnWorkers).
   queues_.Reset(total, split_size);
   if (total == 0) return;
-  std::function<void(int)> job = [this, &body](int worker_id) {
+#ifdef PBFS_TRACING
+  const uint64_t loop_id =
+      g_loop_counter.fetch_add(1, std::memory_order_relaxed);
+  obs::ScopedSpan loop_span("sched.parallel_for");
+  loop_span.AddArg("loop", loop_id);
+  loop_span.AddArg("total", total);
+  loop_span.AddArg("split", split_size);
+  loop_span.AddArg("tasks", (total + split_size - 1) / split_size);
+#endif
+  std::function<void(int)> job = [&](int worker_id) {
 #ifdef PBFS_SCHED_PERTURB
     if (const StealPolicy* policy = queues_.steal_policy()) {
       policy->OnLoopStart(worker_id, num_workers_);
     }
+#endif
+#ifdef PBFS_TRACING
+    const bool tracing = obs::Tracer::Get().enabled();
+    const int64_t t0 = tracing ? NowNanos() : 0;
 #endif
     int steal_cursor = 0;
     uint64_t local = 0;
@@ -111,6 +141,16 @@ void WorkerPool::ParallelFor(uint64_t total, uint32_t split_size,
     if (stolen != 0) {
       stolen_tasks_.fetch_add(stolen, std::memory_order_relaxed);
     }
+#ifdef PBFS_TRACING
+    if (tracing) {
+      obs::TraceEvent event =
+          obs::MakeSpan("sched.worker_loop", t0, NowNanos());
+      event.AddArg("loop", loop_id);
+      event.AddArg("local", local);
+      event.AddArg("stolen", stolen);
+      obs::Tracer::Get().Record(event);
+    }
+#endif
   };
   Dispatch(job);
 }

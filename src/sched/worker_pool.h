@@ -85,7 +85,9 @@ class WorkerPool : public Executor {
   // ResetSchedulerStats). "Local" tasks were fetched from the worker's
   // own queue, "stolen" from another worker's. The paper's claim that
   // with balanced queues most tasks stay with their original workers is
-  // directly observable here (see bench/sched_steals).
+  // directly observable here (see bench/sched_steals). Builds with
+  // PBFS_TRACING additionally record the same counts per loop as
+  // "sched.worker_loop" trace spans, one per worker per ParallelFor.
   struct SchedulerStats {
     uint64_t local_tasks = 0;
     uint64_t stolen_tasks = 0;

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "util/check.h"
@@ -56,6 +57,22 @@ class StreamingStats {
     ++count_;
   }
 
+  // Folds another accumulator in, as if its samples had been Add()ed
+  // here. Commutative and associative, so per-worker accumulators can
+  // be reduced in any order (the obs metrics aggregation relies on
+  // this).
+  void Merge(const StreamingStats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+    count_ += other.count_;
+  }
+
   uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double mean() const {
@@ -70,6 +87,107 @@ class StreamingStats {
   double sum_ = 0;
   double min_ = 0;
   double max_ = 0;
+};
+
+// Fixed-shape log-bucketed histogram for positive metric samples
+// (latencies, durations). Constant space, constant-time Add, mergeable
+// across workers; quantiles are estimated by linear interpolation
+// inside the covering bucket, so the error is bounded by the bucket's
+// growth factor.
+//
+// Bucket 0 is [0, min_bound); bucket i in [1, num_log_buckets] is
+// [min_bound * growth^(i-1), min_bound * growth^i); the last bucket
+// catches everything at or above the top boundary. Samples <= 0 land in
+// bucket 0.
+class Histogram {
+ public:
+  explicit Histogram(double min_bound = 1e-3, double growth = 2.0,
+                     int num_log_buckets = 40)
+      : min_bound_(min_bound), growth_(growth) {
+    PBFS_CHECK(min_bound > 0 && growth > 1 && num_log_buckets > 0);
+    counts_.assign(static_cast<size_t>(num_log_buckets) + 2, 0);
+  }
+
+  void Add(double value) {
+    ++counts_[BucketOf(value)];
+    stats_.Add(value);
+  }
+
+  // Requires an identical bucket shape.
+  void Merge(const Histogram& other) {
+    PBFS_CHECK(counts_.size() == other.counts_.size());
+    PBFS_CHECK(min_bound_ == other.min_bound_ && growth_ == other.growth_);
+    for (size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+    stats_.Merge(other.stats_);
+  }
+
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  uint64_t bucket_count(int b) const {
+    return counts_[static_cast<size_t>(b)];
+  }
+
+  // Half-open bucket range [BucketLower(b), BucketUpper(b)). The last
+  // bucket's upper bound is +infinity.
+  double BucketLower(int b) const {
+    if (b <= 0) return 0.0;
+    return min_bound_ * std::pow(growth_, b - 1);
+  }
+  double BucketUpper(int b) const {
+    if (b >= num_buckets() - 1) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return min_bound_ * std::pow(growth_, b);
+  }
+
+  int BucketOf(double value) const {
+    if (!(value >= min_bound_)) return 0;  // also catches NaN and <= 0
+    int b = 1 + static_cast<int>(std::log(value / min_bound_) /
+                                 std::log(growth_));
+    // Samples far above the top boundary compute an index past the
+    // overflow bucket; clamp before the boundary correction below.
+    if (b >= num_buckets()) b = num_buckets() - 1;
+    // Guard the float/log boundary cases so BucketOf agrees exactly
+    // with [BucketLower, BucketUpper).
+    while (b > 0 && value < BucketLower(b)) --b;
+    while (b < num_buckets() - 1 && value >= BucketUpper(b)) ++b;
+    return b;
+  }
+
+  uint64_t count() const { return stats_.count(); }
+  double sum() const { return stats_.sum(); }
+  double mean() const { return stats_.mean(); }
+  double min() const { return stats_.min(); }
+  double max() const { return stats_.max(); }
+
+  // Estimated q-quantile (q in [0, 1]): locates the bucket holding the
+  // target rank and interpolates linearly inside it, clamped to the
+  // observed min/max so estimates never leave the sampled range.
+  double Quantile(double q) const {
+    const uint64_t n = count();
+    if (n == 0) return 0.0;
+    double rank = q * static_cast<double>(n);
+    uint64_t seen = 0;
+    for (int b = 0; b < num_buckets(); ++b) {
+      const uint64_t c = counts_[static_cast<size_t>(b)];
+      if (c == 0) continue;
+      if (static_cast<double>(seen + c) >= rank) {
+        const double lo = std::max(BucketLower(b), stats_.min());
+        double hi = std::min(BucketUpper(b), stats_.max());
+        if (!std::isfinite(hi)) hi = stats_.max();
+        const double within =
+            (rank - static_cast<double>(seen)) / static_cast<double>(c);
+        return std::clamp(lo + within * (hi - lo), stats_.min(), stats_.max());
+      }
+      seen += c;
+    }
+    return stats_.max();
+  }
+
+ private:
+  double min_bound_;
+  double growth_;
+  std::vector<uint64_t> counts_;
+  StreamingStats stats_;
 };
 
 // Ratio of the largest to the smallest positive element; the paper's

@@ -8,7 +8,9 @@
 // legs run it; see docs/engine.md and docs/testing.md.
 
 #include <chrono>
+#include <set>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -23,6 +25,10 @@
 #include "sched/worker_pool.h"
 #include "util/rng.h"
 #include "util/timer.h"
+
+#ifdef PBFS_TRACING
+#include "obs/trace.h"
+#endif
 
 namespace pbfs {
 namespace {
@@ -345,6 +351,94 @@ TEST(QueryEngineStressTest, ConcurrentClientsUnderPerturbedSchedules) {
     }
     pool.SetStealPolicy(nullptr);
   }
+}
+
+// Trace-backed accounting (the "obs" leg): every admitted query emits
+// exactly one terminal "query.done" instant, and the latency histogram
+// holds exactly one sample per kOk completion. The histogram half runs
+// in every build; the trace half needs PBFS_TRACING.
+TEST(QueryEngineObsTest, EveryAdmittedQueryEmitsOneTerminalEvent) {
+#ifndef PBFS_TRACING
+  GTEST_SKIP() << "library built with PBFS_TRACING=OFF";
+#else
+  Graph graph = ErdosRenyi(300, 900, /*seed=*/21);
+  WorkerPool pool({.num_workers = 4, .pin_threads = false});
+  obs::Tracer::Get().Start();
+  uint64_t admitted;
+  QueryEngineStats stats;
+  {
+    QueryEngineOptions options;
+    options.coalesce_wait_ms = 0.1;
+    QueryEngine engine(graph, &pool, options);
+    Rng rng(13);
+    std::vector<QueryEngine::Submission> subs;
+    for (int q = 0; q < 48; ++q) {
+      Query query;
+      // ~1 in 5 sources is out of range -> kInvalid terminal, so the
+      // count covers the non-kOk completion paths too.
+      query.source = static_cast<Vertex>(rng.NextBounded(375));
+      subs.push_back(engine.Submit(std::move(query)));
+    }
+    engine.Drain();
+    stats = engine.Stats();
+    admitted = stats.queries_admitted;
+    for (auto& sub : subs) sub.result.get();
+  }
+  obs::TraceDump dump = obs::Tracer::Get().Stop();
+
+  std::set<uint64_t> done_ids;
+  uint64_t done_events = 0;
+  uint64_t ok_events = 0;
+  for (const obs::TraceThreadDump& thread : dump.threads) {
+    for (const obs::TraceEvent& event : thread.events) {
+      if (event.name == nullptr ||
+          std::string_view(event.name) != "query.done") {
+        continue;
+      }
+      ++done_events;
+      done_ids.insert(event.Arg("query"));
+      if (event.Arg("status") ==
+          static_cast<uint64_t>(QueryStatus::kOk)) {
+        ++ok_events;
+      }
+    }
+  }
+  EXPECT_EQ(admitted, 48u);
+  // Exactly one terminal per admitted query: total count matches AND
+  // every id is distinct (a double-complete would collide).
+  EXPECT_EQ(done_events, admitted);
+  EXPECT_EQ(done_ids.size(), admitted);
+  EXPECT_EQ(ok_events, stats.queries_completed);
+  // One latency sample per kOk query, in every build mode.
+  EXPECT_EQ(stats.latency_ms.count(), stats.queries_completed);
+  EXPECT_GT(stats.queries_completed, 0u);
+  EXPECT_GT(stats.queries_invalid, 0u);  // the invalid path was exercised
+#endif
+}
+
+TEST(QueryEngineObsTest, LatencyHistogramCountsOkCompletions) {
+  // Histogram accounting must hold without any trace session (it is
+  // part of QueryEngineStats, not of the tracing build flavor).
+  Graph graph = ErdosRenyi(200, 600, /*seed=*/33);
+  WorkerPool pool({.num_workers = 2, .pin_threads = false});
+  QueryEngine engine(graph, &pool);
+  std::vector<QueryEngine::Submission> subs;
+  for (int q = 0; q < 10; ++q) {
+    Query query;
+    query.source = static_cast<Vertex>(q * 17 % 200);
+    subs.push_back(engine.Submit(std::move(query)));
+  }
+  engine.Drain();
+  for (auto& sub : subs) {
+    EXPECT_EQ(sub.result.get().status, QueryStatus::kOk);
+  }
+  QueryEngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.queries_completed, 10u);
+  EXPECT_EQ(stats.latency_ms.count(), 10u);
+  // Quantiles come from real samples: positive and ordered.
+  EXPECT_GT(stats.latency_ms.max(), 0.0);
+  EXPECT_LE(stats.latency_ms.Quantile(0.5), stats.latency_ms.Quantile(0.99));
+  EXPECT_NE(stats.ToString().find("latency"), std::string::npos);
 }
 
 }  // namespace

@@ -1,4 +1,6 @@
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <set>
 #include <string>
 #include <vector>
@@ -134,6 +136,119 @@ TEST(StatsTest, SkewRatio) {
   // Zero / negative entries (idle workers) are ignored.
   EXPECT_DOUBLE_EQ(SkewRatio({0.0, 3.0, 6.0}), 2.0);
   EXPECT_DOUBLE_EQ(SkewRatio({0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(SkewRatio({-4.0, 3.0, 6.0}), 2.0);
+  EXPECT_DOUBLE_EQ(SkewRatio({-1.0, -2.0, 0.0}), 1.0);
+}
+
+TEST(StatsTest, StreamingStatsMerge) {
+  // Empty + empty stays empty.
+  StreamingStats a;
+  StreamingStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+
+  // Empty + nonempty adopts the nonempty side, in either order.
+  StreamingStats samples;
+  samples.Add(2.0);
+  samples.Add(6.0);
+  a.Merge(samples);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 6.0);
+  StreamingStats b = samples;
+  b.Merge(empty);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.sum(), 8.0);
+
+  // Merging equals Add()ing every sample into one accumulator, and is
+  // commutative (the obs metrics reduction folds per-worker partials in
+  // whatever order threads appear in the dump).
+  StreamingStats left;
+  for (double v : {1.0, -3.0, 7.0}) left.Add(v);
+  StreamingStats right;
+  for (double v : {4.0, 0.5}) right.Add(v);
+  StreamingStats lr = left;
+  lr.Merge(right);
+  StreamingStats rl = right;
+  rl.Merge(left);
+  StreamingStats direct;
+  for (double v : {1.0, -3.0, 7.0, 4.0, 0.5}) direct.Add(v);
+  for (const StreamingStats& merged : {lr, rl}) {
+    EXPECT_EQ(merged.count(), direct.count());
+    EXPECT_DOUBLE_EQ(merged.sum(), direct.sum());
+    EXPECT_DOUBLE_EQ(merged.min(), direct.min());
+    EXPECT_DOUBLE_EQ(merged.max(), direct.max());
+    EXPECT_DOUBLE_EQ(merged.mean(), direct.mean());
+  }
+}
+
+TEST(StatsTest, HistogramBucketBoundaries) {
+  // Buckets: [0,1), [1,2), [2,4), [4,8), [8,16), [16,inf).
+  Histogram h(/*min_bound=*/1.0, /*growth=*/2.0, /*num_log_buckets=*/4);
+  EXPECT_EQ(h.num_buckets(), 6);
+  EXPECT_EQ(h.BucketOf(0.5), 0);
+  EXPECT_EQ(h.BucketOf(0.0), 0);
+  EXPECT_EQ(h.BucketOf(-3.0), 0);
+  EXPECT_EQ(h.BucketOf(std::numeric_limits<double>::quiet_NaN()), 0);
+  EXPECT_EQ(h.BucketOf(1.0), 1);   // lower bounds are inclusive
+  EXPECT_EQ(h.BucketOf(2.0), 2);
+  EXPECT_EQ(h.BucketOf(3.999), 2);
+  EXPECT_EQ(h.BucketOf(4.0), 3);
+  EXPECT_EQ(h.BucketOf(16.0), 5);  // overflow bucket
+  EXPECT_EQ(h.BucketOf(1e12), 5);
+  // BucketOf agrees exactly with the [BucketLower, BucketUpper) ranges,
+  // including at the float-sensitive boundaries.
+  for (int b = 1; b < h.num_buckets(); ++b) {
+    EXPECT_EQ(h.BucketOf(h.BucketLower(b)), b) << "bucket " << b;
+  }
+  EXPECT_DOUBLE_EQ(h.BucketLower(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.BucketUpper(1), 2.0);
+  EXPECT_TRUE(std::isinf(h.BucketUpper(h.num_buckets() - 1)));
+}
+
+TEST(StatsTest, HistogramQuantiles) {
+  Histogram single(1.0, 2.0, 8);
+  single.Add(5.0);
+  // One sample: every quantile is clamped to it.
+  EXPECT_DOUBLE_EQ(single.Quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(single.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(single.Quantile(1.0), 5.0);
+
+  Histogram empty(1.0, 2.0, 8);
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+
+  Histogram h(1.0, 2.0, 8);
+  for (int i = 1; i <= 100; ++i) h.Add(static_cast<double>(i));
+  // Estimates stay within the sampled range and are monotone in q.
+  double prev = h.Quantile(0.0);
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double value = h.Quantile(q);
+    EXPECT_GE(value, prev) << "q=" << q;
+    EXPECT_GE(value, h.min()) << "q=" << q;
+    EXPECT_LE(value, h.max()) << "q=" << q;
+    prev = value;
+  }
+  // The interpolated median lands in the bucket holding rank 50
+  // ([32,64) for 1..100), nowhere wild.
+  EXPECT_GE(h.Quantile(0.5), 32.0);
+  EXPECT_LT(h.Quantile(0.5), 64.0);
+}
+
+TEST(StatsTest, HistogramMerge) {
+  Histogram a(1.0, 2.0, 6);
+  Histogram b(1.0, 2.0, 6);
+  for (double v : {0.5, 1.5, 3.0}) a.Add(v);
+  for (double v : {3.5, 100.0}) b.Add(v);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+  EXPECT_EQ(a.bucket_count(a.BucketOf(3.0)), 2u);  // 3.0 and 3.5 share [2,4)
+  EXPECT_EQ(a.bucket_count(0), 1u);
+  // Merging an empty histogram changes nothing.
+  a.Merge(Histogram(1.0, 2.0, 6));
+  EXPECT_EQ(a.count(), 5u);
 }
 
 TEST(TimerTest, MonotonicElapsed) {
