@@ -19,6 +19,7 @@
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/labeling.h"
+#include "util/bench_json.h"
 #include "util/flags.h"
 #include "util/timer.h"
 
@@ -53,77 +54,10 @@ inline Graph BuildKronecker(int scale, int edge_factor, Labeling labeling,
   return ApplyLabeling(g, perm);
 }
 
-// Machine-readable bench output: a flat JSON object of metrics written
-// next to the human-readable tables as BENCH_<name>.json, so the perf
-// trajectory can be diffed across commits by tooling instead of by
-// eyeballing stdout. Keys keep insertion order; values are numbers or
-// strings.
-class BenchJson {
- public:
-  explicit BenchJson(const std::string& bench_name) {
-    Add("bench", bench_name);
-  }
-
-  void Add(const std::string& key, const std::string& value) {
-    entries_.emplace_back(key, Quote(value));
-  }
-  void Add(const std::string& key, const char* value) {
-    Add(key, std::string(value));
-  }
-  void Add(const std::string& key, double value) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.6g", value);
-    entries_.emplace_back(key, buf);
-  }
-  void Add(const std::string& key, int64_t value) {
-    entries_.emplace_back(key, std::to_string(value));
-  }
-  void Add(const std::string& key, uint64_t value) {
-    entries_.emplace_back(key, std::to_string(value));
-  }
-  void Add(const std::string& key, int value) {
-    Add(key, static_cast<int64_t>(value));
-  }
-
-  std::string ToString() const {
-    std::string out = "{";
-    for (size_t i = 0; i < entries_.size(); ++i) {
-      if (i > 0) out += ", ";
-      out += Quote(entries_[i].first) + ": " + entries_[i].second;
-    }
-    out += "}";
-    return out;
-  }
-
-  // Writes the object to `path` and notes it on stdout. Returns false
-  // (with a note on stderr) if the file cannot be written.
-  bool WriteFile(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", path.c_str());
-      return false;
-    }
-    std::string body = ToString();
-    std::fwrite(body.data(), 1, body.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
-    std::printf("wrote %s\n", path.c_str());
-    return true;
-  }
-
- private:
-  static std::string Quote(const std::string& s) {
-    std::string out = "\"";
-    for (char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
-    }
-    out += '"';
-    return out;
-  }
-
-  std::vector<std::pair<std::string, std::string>> entries_;
-};
+// BenchJson moved to src/util/bench_json.h so the shared obs CLI helper
+// (src/obs/obs_cli.h) can embed profile data into the same document;
+// aliased here for the bench binaries.
+using pbfs::BenchJson;
 
 // Median-of-trials runner: calls fn() `trials` times and returns the
 // median elapsed seconds.

@@ -8,8 +8,10 @@
 // sources, and the headline number is the queries/sec ratio (>= 3x for
 // 64 pending queries on an ER graph of 2^20 vertices, avg degree 64).
 //
-// Emits BENCH_engine.json (see BenchJson in bench_common.h) so the perf
-// trajectory is machine-diffable across commits.
+// Emits BENCH_engine.json (see BenchJson in util/bench_json.h) so the
+// perf trajectory is machine-diffable across commits; diff two runs
+// with scripts/bench_compare.py. --profile adds hardware counters and
+// the NUMA placement audit to the same document.
 //
 //   ./engine_throughput [--vertices_log2 20] [--avg_degree 64]
 //                       [--queries 64] [--targets 4] [--threads N]
@@ -25,7 +27,7 @@
 #include "bfs/registry.h"
 #include "engine/query_engine.h"
 #include "graph/generators.h"
-#include "obs/trace_flag.h"
+#include "obs/obs_cli.h"
 #include "sched/worker_pool.h"
 #include "util/rng.h"
 
@@ -50,10 +52,12 @@ int main(int argc, char** argv) {
   flags.AddString("batch_variant", &batch_variant,
                   "registry name of the engine's batch kernel");
   flags.AddString("json_out", &json_out, "machine-readable output path");
-  pbfs::obs::TraceOutOption trace_out;
-  trace_out.Register(&flags);
+  pbfs::obs::ObsCli obs_cli("engine_throughput");
+  obs_cli.Register(&flags);
   flags.Parse(argc, argv);
-  trace_out.Start();
+  obs_cli.set_json_path(json_out);
+  obs_cli.set_always_write_json(true);
+  obs_cli.Start();
 
   const pbfs::Vertex n = pbfs::Vertex{1} << vertices_log2;
   const pbfs::EdgeIndex m =
@@ -63,6 +67,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(graph.num_edges()));
 
   pbfs::WorkerPool pool({.num_workers = static_cast<int>(threads)});
+  obs_cli.AuditPlacement(graph, &pool, pbfs::BfsOptions{}.split_size);
   pbfs::Rng rng(11);
   std::vector<pbfs::Vertex> sources;
   std::vector<std::vector<pbfs::Vertex>> query_targets;
@@ -133,7 +138,7 @@ int main(int argc, char** argv) {
   std::printf("distance checksum: %llu\n",
               static_cast<unsigned long long>(distance_sink));
 
-  pbfs::bench::BenchJson json("engine_throughput");
+  pbfs::BenchJson& json = obs_cli.json();
   json.Add("vertices", static_cast<uint64_t>(graph.num_vertices()));
   json.Add("edges", static_cast<uint64_t>(graph.num_edges()));
   json.Add("threads", static_cast<int64_t>(threads));
@@ -149,7 +154,6 @@ int main(int argc, char** argv) {
   json.Add("single_runs", stats.single_runs);
   json.Add("mean_batch_occupancy", stats.batch_occupancy.mean());
   json.Add("mean_coalesce_wait_ms", stats.coalesce_wait_ms.mean());
-  json.WriteFile(json_out);
-  trace_out.Finish();
+  obs_cli.Finish();  // writes json_out, enriched in --profile mode
   return 0;
 }

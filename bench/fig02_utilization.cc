@@ -14,7 +14,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "obs/trace_flag.h"
+#include "obs/obs_cli.h"
 #include "bfs/batch.h"
 #include "graph/components.h"
 
@@ -39,10 +39,13 @@ int Main(int argc, char** argv) {
                  "thread count for the analytic model (paper: 60)");
   flags.AddInt64("batch", &batch, "sources per batch (paper: 64)");
   flags.AddInt64("max_sources", &max_sources, "largest source count");
-  obs::TraceOutOption trace_out;
-  trace_out.Register(&flags);
+  obs::ObsCli obs_cli("fig02");
+  obs_cli.Register(&flags);
   flags.Parse(argc, argv);
-  trace_out.Start();
+  obs_cli.Start();
+  obs_cli.json().Add("scale", scale);
+  obs_cli.json().Add("threads", threads);
+  obs_cli.json().Add("batch", batch);
 
   bench::PrintTitle("Figure 2: CPU utilization (%) vs number of sources");
   std::printf("model machine: %lld threads, batch size %lld\n",
@@ -84,7 +87,7 @@ int Main(int argc, char** argv) {
                 static_cast<long long>(threads), parallel.threads_used,
                 static_cast<long long>(threads));
   }
-  trace_out.Finish();
+  obs_cli.Finish();
   return 0;
 }
 

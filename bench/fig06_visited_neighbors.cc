@@ -12,7 +12,7 @@
 #include <numeric>
 
 #include "bench_common.h"
-#include "obs/trace_flag.h"
+#include "obs/obs_cli.h"
 #include "bfs/single_source.h"
 #include "graph/components.h"
 #include "sched/worker_pool.h"
@@ -30,10 +30,12 @@ int Main(int argc, char** argv) {
                  "log2 of social-network vertices");
   flags.AddInt64("workers", &workers, "static partitions (paper: 8)");
   flags.AddInt64("seed", &source_seed, "source selection seed");
-  obs::TraceOutOption trace_out;
-  trace_out.Register(&flags);
+  obs::ObsCli obs_cli("fig06");
+  obs_cli.Register(&flags);
   flags.Parse(argc, argv);
-  trace_out.Start();
+  obs_cli.Start();
+  obs_cli.json().Add("vertices_log2", vertices_log2);
+  obs_cli.json().Add("workers", workers);
 
   Graph base = SocialNetwork({
       .num_vertices = Vertex{1} << vertices_log2,
@@ -51,6 +53,7 @@ int Main(int argc, char** argv) {
   WorkerPool pool({.num_workers = static_cast<int>(workers),
                    .pin_threads = false});
   StaticExecutor static_exec(&pool);
+  obs_cli.AuditPlacement(base, &pool, shape.split_size);
 
   bench::PrintTitle(
       "Figure 6: visited neighbors per worker (static partitioning)");
@@ -92,7 +95,7 @@ int Main(int argc, char** argv) {
                   total > 0 ? 100.0 * per_worker[w] / total : 0.0);
     }
   }
-  trace_out.Finish();
+  obs_cli.Finish();
   return 0;
 }
 

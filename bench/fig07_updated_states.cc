@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "obs/trace_flag.h"
+#include "obs/obs_cli.h"
 #include "bfs/single_source.h"
 #include "graph/components.h"
 #include "sched/worker_pool.h"
@@ -27,10 +27,12 @@ int Main(int argc, char** argv) {
                  "log2 of social-network vertices");
   flags.AddInt64("workers", &workers, "static partitions (paper: 8)");
   flags.AddInt64("seed", &source_seed, "source selection seed");
-  obs::TraceOutOption trace_out;
-  trace_out.Register(&flags);
+  obs::ObsCli obs_cli("fig07");
+  obs_cli.Register(&flags);
   flags.Parse(argc, argv);
-  trace_out.Start();
+  obs_cli.Start();
+  obs_cli.json().Add("vertices_log2", vertices_log2);
+  obs_cli.json().Add("workers", workers);
 
   Graph base = SocialNetwork({
       .num_vertices = Vertex{1} << vertices_log2,
@@ -45,6 +47,10 @@ int Main(int argc, char** argv) {
   WorkerPool pool({.num_workers = static_cast<int>(workers),
                    .pin_threads = false});
   StaticExecutor static_exec(&pool);
+  obs_cli.AuditPlacement(
+      g, &pool,
+      std::max<uint32_t>(1, g.num_vertices() /
+                                static_cast<uint32_t>(workers)));
 
   TraversalStats stats;
   BfsOptions options;
@@ -72,7 +78,7 @@ int Main(int argc, char** argv) {
     }
     std::printf("\n");
   }
-  trace_out.Finish();
+  obs_cli.Finish();
   return 0;
 }
 

@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "obs/trace_flag.h"
+#include "obs/obs_cli.h"
 #include "bfs/multi_source.h"
 #include "bfs/single_source.h"
 #include "graph/components.h"
@@ -25,10 +25,13 @@ int Main(int argc, char** argv) {
   flags.AddInt64("scale", &scale, "Kronecker scale");
   flags.AddInt64("workers", &workers, "static partitions (paper: 8)");
   flags.AddInt64("batch", &batch, "MS-PBFS batch size");
-  obs::TraceOutOption trace_out;
-  trace_out.Register(&flags);
+  obs::ObsCli obs_cli("fig09");
+  obs_cli.Register(&flags);
   flags.Parse(argc, argv);
-  trace_out.Start();
+  obs_cli.Start();
+  obs_cli.json().Add("scale", scale);
+  obs_cli.json().Add("workers", workers);
+  obs_cli.json().Add("batch", batch);
 
   Graph base = Kronecker({.scale = static_cast<int>(scale),
                           .edge_factor = 16, .seed = 1});
@@ -42,6 +45,7 @@ int Main(int argc, char** argv) {
   WorkerPool pool({.num_workers = static_cast<int>(workers),
                    .pin_threads = false});
   StaticExecutor static_exec(&pool);
+  obs_cli.AuditPlacement(base, &pool, shape.split_size);
 
   const Labeling kLabelings[] = {Labeling::kDegreeOrdered, Labeling::kRandom,
                                  Labeling::kStriped};
@@ -93,6 +97,12 @@ int Main(int argc, char** argv) {
         skews.push_back(SkewRatio(work));
       }
       max_iters = std::max(max_iters, skews.size());
+      double max_skew = 0.0;
+      for (double s : skews) max_skew = std::max(max_skew, s);
+      obs_cli.json().Add(std::string("max_skew_") +
+                             (multi_source ? "ms_" : "sms_") +
+                             LabelingName(labeling),
+                         max_skew);
       skew_by_labeling.push_back(std::move(skews));
     }
 
@@ -118,7 +128,7 @@ int Main(int argc, char** argv) {
       "\nexpected shape: ordered labeling shows by far the largest skew "
       "(paper: >15x in the hot iteration for SMS-PBFS); striped and random "
       "stay near 1; skew hits SMS-PBFS harder than MS-PBFS.\n");
-  trace_out.Finish();
+  obs_cli.Finish();
   return 0;
 }
 

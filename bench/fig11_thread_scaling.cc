@@ -14,7 +14,7 @@
 #include "bench_common.h"
 #include "bfs/batch.h"
 #include "graph/components.h"
-#include "obs/trace_flag.h"
+#include "obs/obs_cli.h"
 
 namespace pbfs {
 namespace {
@@ -32,10 +32,13 @@ int Main(int argc, char** argv) {
   flags.AddInt64("batch", &batch, "sources per batch (paper: 64)");
   flags.AddInt64("sockets", &sockets,
                  "instances for the one-per-socket series");
-  obs::TraceOutOption trace_out;
-  trace_out.Register(&flags);
+  obs::ObsCli obs_cli("fig11");
+  obs_cli.Register(&flags);
   flags.Parse(argc, argv);
-  trace_out.Start();
+  obs_cli.Start();
+  obs_cli.json().Add("scale", scale);
+  obs_cli.json().Add("max_threads", max_threads);
+  obs_cli.json().Add("sources", sources_count);
 
   Graph g = bench::BuildKronecker(
       static_cast<int>(scale), 16, Labeling::kStriped,
@@ -89,6 +92,9 @@ int Main(int argc, char** argv) {
         report = RunMultiSourceBatches(g, sources, s.mode, options, nullptr);
       }
       if (threads == 1) s.base_seconds = report.seconds;
+      if (threads == max_threads) {
+        obs_cli.json().Add(std::string("seconds_") + s.name, report.seconds);
+      }
       std::printf(" %16.2f", s.base_seconds / report.seconds);
     }
     std::printf("\n");
@@ -97,7 +103,7 @@ int Main(int argc, char** argv) {
       "\nexpected shape (on multi-core hardware): MS-PBFS scales near-"
       "linearly and beats per-core MS-BFS, whose cores stop sharing cache "
       "lines; one-per-socket tracks MS-PBFS closely (NUMA resilience).\n");
-  trace_out.Finish();
+  obs_cli.Finish();
   return 0;
 }
 

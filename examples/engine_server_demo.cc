@@ -15,7 +15,7 @@
 
 #include "engine/query_engine.h"
 #include "graph/generators.h"
-#include "obs/trace_flag.h"
+#include "obs/obs_cli.h"
 #include "sched/worker_pool.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -34,10 +34,10 @@ int main(int argc, char** argv) {
   flags.AddInt64("queries_per_client", &queries_per_client,
                  "queries submitted by each client");
   flags.AddInt64("threads", &threads, "BFS worker threads");
-  pbfs::obs::TraceOutOption trace_out;
-  trace_out.Register(&flags);
+  pbfs::obs::ObsCli obs_cli("engine_server_demo");
+  obs_cli.Register(&flags);
   flags.Parse(argc, argv);
-  trace_out.Start();
+  obs_cli.Start();
 
   pbfs::Graph graph = pbfs::SocialNetwork({
       .num_vertices = pbfs::Vertex{1} << vertices_log2,
@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(graph.num_edges()));
 
   pbfs::WorkerPool pool({.num_workers = static_cast<int>(threads)});
+  obs_cli.AuditPlacement(graph, &pool, pbfs::BfsOptions{}.split_size);
   pbfs::QueryEngine engine(graph, &pool);
 
   std::atomic<uint64_t> ok{0};
@@ -107,6 +108,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(ok.load()), elapsed_s,
               static_cast<double>(total) / elapsed_s);
   std::printf("engine stats: %s\n", engine.Stats().ToString().c_str());
-  trace_out.Finish();
+  obs_cli.json().Add("clients", clients);
+  obs_cli.json().Add("queries_per_client", queries_per_client);
+  obs_cli.json().Add("queries_ok", ok.load());
+  obs_cli.json().Add("queries_per_s", static_cast<double>(total) / elapsed_s);
+  obs_cli.Finish();
   return 0;
 }

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files and flag regressions.
+
+Every bench binary (and engine_throughput / the fig benches under
+--profile) emits a flat-ish JSON document of run parameters and
+measured metrics.  This tool compares a baseline run against a
+candidate run metric by metric, prints the deltas, and exits non-zero
+when a metric regressed by more than the threshold -- so a CI leg or a
+local A/B loop can gate on it:
+
+    ./bench/engine_throughput --json_out base.json
+    # ... apply a change, rebuild ...
+    ./bench/engine_throughput --json_out new.json
+    python3 scripts/bench_compare.py base.json new.json --threshold 0.10
+
+Nested objects (the --profile additions: perf_per_worker, numa_audit)
+are flattened with dotted keys, so per-worker counter drift shows up
+like any other metric.  Which direction counts as a regression is
+inferred from the key name: throughput-like metrics (qps, speedup,
+...) must not drop, cost-like metrics (seconds, misses, misplaced,
+...) must not rise, and anything unrecognised is reported but never
+gates.  Use --gate to restrict gating to keys matching a regex.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# Key-name fragments that say "bigger is better" / "bigger is worse".
+# Checked against the last dotted component, longest match wins.
+HIGHER_IS_BETTER = ("qps", "speedup", "throughput", "ipc", "rate_ok")
+LOWER_IS_BETTER = (
+    "seconds",
+    "_s",
+    "_ms",
+    "_us",
+    "skew",
+    "misses",
+    "miss_rate",
+    "misplaced",
+    "misplacement",
+    "dropped",
+    "stalled",
+    "cycles",
+    "bytes_per_edge",
+    "wait",
+)
+
+
+def flatten(value, prefix=""):
+    """Yield (dotted_key, leaf) pairs for scalars in a nested document."""
+    if isinstance(value, dict):
+        for key, child in value.items():
+            yield from flatten(child, f"{prefix}{key}.")
+    elif isinstance(value, list):
+        for index, child in enumerate(value):
+            yield from flatten(child, f"{prefix}{index}.")
+    else:
+        yield prefix[:-1], value
+
+
+def load_flat(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    flat = {}
+    for key, value in flatten(doc):
+        flat[key] = value
+    return flat
+
+
+def direction(key):
+    """+1 when higher is better, -1 when lower is better, 0 when unknown."""
+    leaf = key.rsplit(".", 1)[-1]
+    best, sign = 0, 0
+    for fragment in HIGHER_IS_BETTER:
+        if fragment in leaf and len(fragment) > best:
+            best, sign = len(fragment), +1
+    for fragment in LOWER_IS_BETTER:
+        if (leaf.endswith(fragment) or fragment in leaf) and len(fragment) > best:
+            best, sign = len(fragment), -1
+    return sign
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json files; exit 1 on regression.")
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold", type=float, default=0.05,
+        help="relative worsening that counts as a regression "
+             "(default 0.05 = 5%%)")
+    parser.add_argument(
+        "--gate", default="",
+        help="regex; only matching keys can fail the run "
+             "(default: every metric with a known direction)")
+    args = parser.parse_args()
+
+    base = load_flat(args.baseline)
+    cand = load_flat(args.candidate)
+    gate = re.compile(args.gate) if args.gate else None
+
+    regressions = []
+    rows = []
+    for key in sorted(set(base) | set(cand)):
+        old, new = base.get(key), cand.get(key)
+        if key not in base or key not in cand:
+            rows.append((key, old, new, None, "only in one file"))
+            continue
+        if not isinstance(old, (int, float)) or isinstance(old, bool) or \
+           not isinstance(new, (int, float)) or isinstance(new, bool):
+            if old != new:
+                rows.append((key, old, new, None, "changed"))
+            continue
+        delta = new - old
+        rel = delta / old if old != 0 else (0.0 if delta == 0 else float("inf"))
+        sign = direction(key)
+        worsening = -rel * sign  # positive when the metric moved the wrong way
+        note = ""
+        if sign != 0 and worsening > args.threshold:
+            note = "REGRESSION"
+            if gate is None or gate.search(key):
+                regressions.append(key)
+            else:
+                note = "regression (not gated)"
+        elif sign != 0 and -worsening > args.threshold:
+            note = "improved"
+        rows.append((key, old, new, rel, note))
+
+    width = max((len(r[0]) for r in rows), default=10)
+    print(f"{'metric':<{width}}  {'baseline':>14}  {'candidate':>14}  "
+          f"{'delta':>9}  note")
+    for key, old, new, rel, note in rows:
+        fmt = lambda v: f"{v:>14.6g}" if isinstance(v, (int, float)) and \
+            not isinstance(v, bool) else f"{str(v):>14}"
+        rel_text = f"{rel:>+8.1%}" if rel is not None and rel != float("inf") \
+            else f"{'n/a':>9}"
+        print(f"{key:<{width}}  {fmt(old)}  {fmt(new)}  {rel_text}  {note}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.1%}: {', '.join(regressions)}")
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.1%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

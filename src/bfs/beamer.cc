@@ -7,6 +7,7 @@
 #include "util/aligned_buffer.h"
 
 #ifdef PBFS_TRACING
+#include "obs/bfs_instrument.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 #endif
@@ -230,7 +231,7 @@ BfsResult BeamerBfs(const Graph& graph, Vertex source, BeamerVariant variant,
     // scout count carried over from the previous iteration.
     uint64_t edges_scanned = bottom_up ? 0 : scout_count;
 #ifdef PBFS_TRACING
-    const int64_t level_start_ns = tracing ? NowNanos() : 0;
+    const obs::BfsLevelProbe level_probe = obs::BeginBfsLevel(tracing);
     const uint64_t frontier_entering = frontier_count;
 #endif
     if (bottom_up) {
@@ -255,12 +256,14 @@ BfsResult BeamerBfs(const Graph& graph, Vertex source, BeamerVariant variant,
 #ifdef PBFS_TRACING
     if (tracing) {
       obs::TraceEvent event =
-          obs::MakeSpan(level_span_name, level_start_ns, NowNanos());
+          obs::MakeSpan(level_span_name, level_probe.start_ns, NowNanos());
       event.AddArg("level", depth);
       event.AddArg("bottom_up", bottom_up ? 1 : 0);
       event.AddArg("frontier", frontier_entering);
       event.AddArg("edges_scanned", edges_scanned);
       event.AddArg("states_updated", discovered);
+      obs::AddPerfDeltaArgs(event, level_probe.perf_begin,
+                            obs::PerfCounters::ReadCurrentThread());
       obs::Tracer::Get().Record(event);
     }
 #else

@@ -141,7 +141,7 @@ class MsPbfs final : public MultiSourceBfsBase {
       for (WorkerReduction& r : reduction_) r = WorkerReduction{};
       Timer iteration_timer;
 #ifdef PBFS_TRACING
-      const int64_t level_start_ns = tracing ? NowNanos() : 0;
+      const obs::BfsLevelProbe level_probe = obs::BeginBfsLevel(tracing);
 #endif
 
       if (!bottom_up) {
@@ -167,7 +167,7 @@ class MsPbfs final : public MultiSourceBfsBase {
       if (tracing && stats != nullptr) {
         // frontier_vertices still holds the size entering this level; it
         // is rolled forward below.
-        obs::EmitBfsLevel("ms-pbfs.level", level_start_ns, depth,
+        obs::EmitBfsLevel("ms-pbfs.level", level_probe, depth,
                           bottom_up ? Direction::kBottomUp
                                     : Direction::kTopDown,
                           frontier_vertices, stats->iterations().back());

@@ -106,7 +106,7 @@ class QueuePbfs final : public SingleSourceBfsBase {
       for (WorkerReduction& r : reduction_) r = WorkerReduction{};
       Timer iteration_timer;
 #ifdef PBFS_TRACING
-      const int64_t level_start_ns = tracing ? NowNanos() : 0;
+      const obs::BfsLevelProbe level_probe = obs::BeginBfsLevel(tracing);
       const uint64_t trace_frontier = frontier_size;
 #endif
 
@@ -139,7 +139,7 @@ class QueuePbfs final : public SingleSourceBfsBase {
       }
 #ifdef PBFS_TRACING
       if (tracing && stats != nullptr) {
-        obs::EmitBfsLevel("queue-pbfs.level", level_start_ns, depth,
+        obs::EmitBfsLevel("queue-pbfs.level", level_probe, depth,
                           bottom_up ? Direction::kBottomUp
                                     : Direction::kTopDown,
                           trace_frontier, stats->iterations().back());

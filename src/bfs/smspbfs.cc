@@ -141,7 +141,7 @@ class SmsPbfsByte final : public SingleSourceBfsBase {
       for (WorkerReduction& r : reduction_) r = WorkerReduction{};
       Timer iteration_timer;
 #ifdef PBFS_TRACING
-      const int64_t level_start_ns = tracing ? NowNanos() : 0;
+      const obs::BfsLevelProbe level_probe = obs::BeginBfsLevel(tracing);
 #endif
 
       if (direction == Direction::kTopDown) {
@@ -163,7 +163,7 @@ class SmsPbfsByte final : public SingleSourceBfsBase {
       }
 #ifdef PBFS_TRACING
       if (tracing && stats != nullptr) {
-        obs::EmitBfsLevel(kTraceLevelName, level_start_ns, depth, direction,
+        obs::EmitBfsLevel(kTraceLevelName, level_probe, depth, direction,
                           trace_frontier, stats->iterations().back());
       }
       trace_frontier = discovered;
@@ -363,7 +363,7 @@ class SmsPbfsBit final : public SingleSourceBfsBase {
       for (WorkerReduction& r : reduction_) r = WorkerReduction{};
       Timer iteration_timer;
 #ifdef PBFS_TRACING
-      const int64_t level_start_ns = tracing ? NowNanos() : 0;
+      const obs::BfsLevelProbe level_probe = obs::BeginBfsLevel(tracing);
 #endif
 
       if (direction == Direction::kTopDown) {
@@ -385,7 +385,7 @@ class SmsPbfsBit final : public SingleSourceBfsBase {
       }
 #ifdef PBFS_TRACING
       if (tracing && stats != nullptr) {
-        obs::EmitBfsLevel(kTraceLevelName, level_start_ns, depth, direction,
+        obs::EmitBfsLevel(kTraceLevelName, level_probe, depth, direction,
                           trace_frontier, stats->iterations().back());
       }
       trace_frontier = discovered;

@@ -22,16 +22,38 @@
 #include <cstdint>
 
 #include "bfs/common.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 
 namespace pbfs {
 namespace obs {
 
+// Snapshot taken at the top of a BFS iteration: wall-clock start plus
+// the coordinating thread's hardware-counter reading. The counter
+// deltas cover the whole level — with the counters inherited by nothing
+// (per-thread groups), this is the coordinator's view; per-worker
+// attribution comes from the scheduler's worker spans.
+struct BfsLevelProbe {
+  int64_t start_ns = 0;
+  PerfSample perf_begin;
+};
+
+inline BfsLevelProbe BeginBfsLevel(bool tracing) {
+  BfsLevelProbe probe;
+  if (tracing) {
+    probe.start_ns = NowNanos();
+    probe.perf_begin = PerfCounters::ReadCurrentThread();
+  }
+  return probe;
+}
+
 // Emits the per-level span for the iteration snapshot `iter` (the one
-// just pushed by TraversalStats::FinishIteration), ending now.
-inline void EmitBfsLevel(const char* name, int64_t start_ns, Level depth,
-                         Direction direction, uint64_t frontier,
+// just pushed by TraversalStats::FinishIteration), ending now. Hardware
+// counter deltas since `probe` ride along as extra args when profiling
+// is enabled (or the `counters_unavailable` marker when it cannot be).
+inline void EmitBfsLevel(const char* name, const BfsLevelProbe& probe,
+                         Level depth, Direction direction, uint64_t frontier,
                          const TraversalStats::Iteration& iter) {
   Tracer& tracer = Tracer::Get();
   if (!tracer.enabled()) return;
@@ -39,12 +61,14 @@ inline void EmitBfsLevel(const char* name, int64_t start_ns, Level depth,
   uint64_t updated = 0;
   for (uint64_t x : iter.neighbors_visited) edges += x;
   for (uint64_t x : iter.states_updated) updated += x;
-  TraceEvent event = MakeSpan(name, start_ns, NowNanos());
+  TraceEvent event = MakeSpan(name, probe.start_ns, NowNanos());
   event.AddArg("level", depth);
   event.AddArg("bottom_up", direction == Direction::kBottomUp ? 1 : 0);
   event.AddArg("frontier", frontier);
   event.AddArg("edges_scanned", edges);
   event.AddArg("states_updated", updated);
+  AddPerfDeltaArgs(event, probe.perf_begin,
+                   PerfCounters::ReadCurrentThread());
   tracer.Record(event);
 }
 

@@ -3,11 +3,35 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/chrome_trace.h"
+#include "util/aligned_buffer.h"
+
 namespace pbfs {
 namespace obs {
 namespace {
 
 using Entry = MetricsSnapshot::Entry;
+
+// numerator / denominator over arg totals; empty unless both counters
+// were recorded and the denominator is nonzero.
+std::optional<double> ArgRatio(const std::map<std::string, uint64_t>& totals,
+                               const char* numerator,
+                               const char* denominator,
+                               double numerator_scale = 1.0) {
+  const auto num = totals.find(numerator);
+  const auto den = totals.find(denominator);
+  if (num == totals.end() || den == totals.end() || den->second == 0) {
+    return std::nullopt;
+  }
+  return static_cast<double>(num->second) * numerator_scale /
+         static_cast<double>(den->second);
+}
+
+std::string JsonDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  return buf;
+}
 
 // Per-thread partial aggregate keyed by name pointer identity first
 // (names are interned / literal, so pointer equality is the common
@@ -52,6 +76,19 @@ void MergeEntry(Entry& into, const Entry& from) {
 
 }  // namespace
 
+std::optional<double> Entry::Ipc() const {
+  return ArgRatio(arg_totals, "instructions", "cycles");
+}
+
+std::optional<double> Entry::LlcMissRate() const {
+  return ArgRatio(arg_totals, "llc_misses", "llc_loads");
+}
+
+std::optional<double> Entry::LlcBytesPerEdge() const {
+  return ArgRatio(arg_totals, "llc_misses", "edges_scanned",
+                  static_cast<double>(kCacheLineSize));
+}
+
 const Entry* MetricsSnapshot::Find(std::string_view name) const {
   for (const Entry& entry : entries) {
     if (entry.name == name) return &entry;
@@ -94,6 +131,20 @@ std::string MetricsSnapshot::ToString() const {
                     static_cast<unsigned long long>(total));
       out += line;
     }
+    // Derived hardware metrics, only when the counters were recorded —
+    // entries without perf args print exactly as before.
+    if (const auto ipc = entry.Ipc()) {
+      std::snprintf(line, sizeof(line), " ipc=%.2f", *ipc);
+      out += line;
+    }
+    if (const auto miss_rate = entry.LlcMissRate()) {
+      std::snprintf(line, sizeof(line), " llc_miss_rate=%.3f", *miss_rate);
+      out += line;
+    }
+    if (const auto bytes = entry.LlcBytesPerEdge()) {
+      std::snprintf(line, sizeof(line), " llc_bytes_per_edge=%.1f", *bytes);
+      out += line;
+    }
     out += '\n';
   }
   return out;
@@ -122,6 +173,97 @@ MetricsSnapshot AggregateMetrics(const TraceDump& dump) {
     snapshot.entries.push_back(std::move(entry));
   }
   return snapshot;
+}
+
+std::vector<WorkerArgTotals> PerWorkerArgTotals(const TraceDump& dump) {
+  std::vector<WorkerArgTotals> workers;
+  for (const TraceThreadDump& thread : dump.threads) {
+    if (thread.worker_id < 0) continue;
+    WorkerArgTotals row;
+    row.worker_id = thread.worker_id;
+    row.label = thread.label;
+    for (const TraceEvent& event : thread.events) {
+      for (int a = 0; a < event.num_args; ++a) {
+        row.totals[event.args[a].name] += event.args[a].value;
+      }
+    }
+    workers.push_back(std::move(row));
+  }
+  std::sort(workers.begin(), workers.end(),
+            [](const WorkerArgTotals& a, const WorkerArgTotals& b) {
+              return a.worker_id < b.worker_id;
+            });
+  return workers;
+}
+
+std::string MetricsJson(const MetricsSnapshot& snapshot) {
+  std::string json = "{";
+  json += "\"num_threads\":" + std::to_string(snapshot.num_threads);
+  json += ",\"total_events\":" + std::to_string(snapshot.total_events);
+  json += ",\"dropped_events\":" + std::to_string(snapshot.dropped_events);
+  json += ",\"entries\":[";
+  bool first = true;
+  for (const Entry& entry : snapshot.entries) {
+    if (!first) json += ',';
+    first = false;
+    json += "{\"name\":\"" + JsonEscape(entry.name) + "\"";
+    json += ",\"spans\":" + std::to_string(entry.spans);
+    json += ",\"instants\":" + std::to_string(entry.instants);
+    json += ",\"counters\":" + std::to_string(entry.counters);
+    if (entry.spans > 0) {
+      json += ",\"duration_us\":{";
+      json += "\"count\":" + std::to_string(entry.duration_us.count());
+      json += ",\"mean\":" + JsonDouble(entry.duration_us.mean());
+      json += ",\"min\":" + JsonDouble(entry.duration_us.min());
+      json += ",\"max\":" + JsonDouble(entry.duration_us.max());
+      json += ",\"p50\":" + JsonDouble(entry.duration_hist_us.Quantile(0.5));
+      json += ",\"p99\":" + JsonDouble(entry.duration_hist_us.Quantile(0.99));
+      json += "}";
+    }
+    json += ",\"args\":{";
+    bool first_arg = true;
+    for (const auto& [arg, total] : entry.arg_totals) {
+      if (!first_arg) json += ',';
+      first_arg = false;
+      json += "\"" + JsonEscape(arg) + "\":" + std::to_string(total);
+    }
+    json += "}";
+    std::string derived;
+    if (const auto ipc = entry.Ipc()) {
+      derived += "\"ipc\":" + JsonDouble(*ipc);
+    }
+    if (const auto miss_rate = entry.LlcMissRate()) {
+      if (!derived.empty()) derived += ',';
+      derived += "\"llc_miss_rate\":" + JsonDouble(*miss_rate);
+    }
+    if (const auto bytes = entry.LlcBytesPerEdge()) {
+      if (!derived.empty()) derived += ',';
+      derived += "\"llc_bytes_per_edge\":" + JsonDouble(*bytes);
+    }
+    if (!derived.empty()) json += ",\"derived\":{" + derived + "}";
+    json += "}";
+  }
+  json += "]}";
+  return json;
+}
+
+bool WriteMetricsJsonFile(const MetricsSnapshot& snapshot,
+                          const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "metrics: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string json = MetricsJson(snapshot);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), file) ==
+                      json.size() &&
+                  std::fputc('\n', file) != EOF;
+  std::fclose(file);
+  if (!ok) {
+    std::fprintf(stderr, "metrics: short write to %s\n", path.c_str());
+  }
+  return ok;
 }
 
 }  // namespace obs

@@ -11,6 +11,7 @@
 #define PBFS_OBS_METRICS_H_
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,16 @@ struct MetricsSnapshot {
                                /*num_log_buckets=*/32};
     // Sum of each named numeric argument over all events of this name.
     std::map<std::string, uint64_t> arg_totals;
+
+    // Derived hardware-counter metrics, computed from the perf arg
+    // totals attached by obs::PerfCounters. Empty when the needed
+    // counters were not recorded (profiling off, backend unavailable,
+    // or the PMU lacks the event) — callers print "n/a", never 0.
+    std::optional<double> Ipc() const;          // instructions / cycles
+    std::optional<double> LlcMissRate() const;  // llc_misses / llc_loads
+    // Estimated DRAM traffic per scanned edge: llc_misses * cache line
+    // size / edges_scanned. Only meaningful on the BFS level entries.
+    std::optional<double> LlcBytesPerEdge() const;
   };
 
   int num_threads = 0;
@@ -49,6 +60,28 @@ struct MetricsSnapshot {
 // Reduces a dump: builds one partial aggregate per thread, then merges
 // them (exactly-once per event, order-independent).
 MetricsSnapshot AggregateMetrics(const TraceDump& dump);
+
+// Argument totals summed per pool worker thread (threads labeled by
+// WorkerPool, worker_id >= 0), in worker-id order. This is the
+// per-worker side channel the profile mode uses to report counter and
+// task-count skew that the name-keyed snapshot aggregates away.
+struct WorkerArgTotals {
+  int worker_id = -1;
+  std::string label;
+  std::map<std::string, uint64_t> totals;
+};
+std::vector<WorkerArgTotals> PerWorkerArgTotals(const TraceDump& dump);
+
+// Serializes a snapshot as a standalone JSON document (the
+// `--metrics-out` payload): top-level totals plus one object per entry
+// with counts, duration statistics, summed args, and the derived
+// hardware metrics where present.
+std::string MetricsJson(const MetricsSnapshot& snapshot);
+
+// Writes MetricsJson to `path`; returns false (with a note on stderr)
+// on I/O error.
+bool WriteMetricsJsonFile(const MetricsSnapshot& snapshot,
+                          const std::string& path);
 
 }  // namespace obs
 }  // namespace pbfs

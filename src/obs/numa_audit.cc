@@ -1,0 +1,291 @@
+#include "obs/numa_audit.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#ifdef __linux__
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#include "graph/graph.h"
+#include "obs/chrome_trace.h"
+#include "sched/numa_layout.h"
+#include "sched/worker_pool.h"
+#include "util/aligned_buffer.h"
+
+namespace pbfs {
+namespace obs {
+
+namespace {
+
+#ifdef __linux__
+
+// move_pages(2) with a null target-node list is a pure residency query:
+// status[i] receives the NUMA node of pages[i], or a negative errno
+// (-ENOENT for a page that was never faulted in). Called via syscall()
+// so we need neither libnuma nor <numaif.h>.
+long MovePagesQuery(unsigned long count, void** pages, int* status) {
+  return syscall(SYS_move_pages, /*pid=*/0, count, pages,
+                 /*nodes=*/nullptr, status, /*flags=*/0);
+}
+
+#endif  // __linux__
+
+std::string JsonNumber(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  return buf;
+}
+
+}  // namespace
+
+double NumaAuditReport::MisplacementRatio() const {
+  uint64_t judged = 0;
+  for (uint64_t n : pages_on_node) judged += n;
+  return judged == 0
+             ? 0.0
+             : static_cast<double>(pages_misplaced) / static_cast<double>(judged);
+}
+
+std::string NumaAuditReport::ToString() const {
+  if (!available) {
+    return array + ": numa audit unavailable (" + unavailable_reason + ")";
+  }
+  std::string out = array + ": " + std::to_string(pages_total) + " pages [";
+  for (size_t node = 0; node < pages_on_node.size(); ++node) {
+    if (node != 0) out += ' ';
+    out += "node" + std::to_string(node) + '=' +
+           std::to_string(pages_on_node[node]);
+  }
+  out += "] misplaced=" + std::to_string(pages_misplaced) + " (" +
+         JsonNumber(MisplacementRatio() * 100.0) + "%)";
+  if (pages_unknown != 0) {
+    out += " unknown=" + std::to_string(pages_unknown);
+  }
+  return out;
+}
+
+std::string NumaAuditReport::ToJson() const {
+  std::string json = "{\"array\":\"" + JsonEscape(array) + "\"";
+  json += ",\"available\":" + std::string(available ? "true" : "false");
+  if (!available) {
+    json += ",\"unavailable_reason\":\"" + JsonEscape(unavailable_reason) +
+            "\"}";
+    return json;
+  }
+  json += ",\"pages_total\":" + std::to_string(pages_total);
+  json += ",\"pages_unknown\":" + std::to_string(pages_unknown);
+  json += ",\"pages_misplaced\":" + std::to_string(pages_misplaced);
+  json += ",\"misplacement_ratio\":" + JsonNumber(MisplacementRatio());
+  json += ",\"pages_on_node\":[";
+  for (size_t node = 0; node < pages_on_node.size(); ++node) {
+    if (node != 0) json += ',';
+    json += std::to_string(pages_on_node[node]);
+  }
+  json += "]}";
+  return json;
+}
+
+bool NumaAuditAvailable(std::string* reason) {
+#ifdef __linux__
+  // Probe with one resident page this function owns.
+  alignas(kPageSize) static char probe_page[kPageSize];
+  probe_page[0] = 1;
+  void* page = probe_page;
+  int status = -1;
+  if (MovePagesQuery(1, &page, &status) != 0) {
+    if (reason != nullptr) {
+      *reason = std::string("move_pages failed: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  if (status < 0) {
+    if (reason != nullptr) {
+      *reason = std::string("move_pages status: ") + std::strerror(-status);
+    }
+    return false;
+  }
+  return true;
+#else
+  if (reason != nullptr) *reason = "move_pages is Linux-only";
+  return false;
+#endif
+}
+
+NumaAuditReport AuditPages(std::string array_name, const void* data,
+                           size_t bytes, int num_nodes,
+                           const ExpectedNodeFn& expected_node) {
+  NumaAuditReport report;
+  report.array = std::move(array_name);
+  report.pages_on_node.assign(num_nodes > 0 ? num_nodes : 1, 0);
+  if (!NumaAuditAvailable(&report.unavailable_reason)) return report;
+  if (data == nullptr || bytes == 0) {
+    report.available = true;
+    return report;
+  }
+#ifdef __linux__
+  const uintptr_t base = reinterpret_cast<uintptr_t>(data);
+  const uintptr_t first_page = base & ~(uintptr_t{kPageSize} - 1);
+  const uintptr_t last_page = (base + bytes - 1) & ~(uintptr_t{kPageSize} - 1);
+  report.pages_total = (last_page - first_page) / kPageSize + 1;
+
+  constexpr uint64_t kChunk = 512;
+  void* pages[kChunk];
+  int status[kChunk];
+  for (uint64_t done = 0; done < report.pages_total; done += kChunk) {
+    const uint64_t n = std::min(kChunk, report.pages_total - done);
+    for (uint64_t i = 0; i < n; ++i) {
+      pages[i] =
+          reinterpret_cast<void*>(first_page + (done + i) * kPageSize);
+    }
+    if (MovePagesQuery(n, pages, status) != 0) {
+      report.unavailable_reason =
+          std::string("move_pages failed mid-audit: ") + std::strerror(errno);
+      return report;
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+      if (status[i] < 0) {
+        ++report.pages_unknown;
+        continue;
+      }
+      const int node = status[i];
+      if (node >= static_cast<int>(report.pages_on_node.size())) {
+        report.pages_on_node.resize(node + 1, 0);
+      }
+      ++report.pages_on_node[node];
+      if (!expected_node) continue;
+      // Judge the page by its first byte that belongs to the array;
+      // with page-aligned task borders a page has a single owner.
+      const uintptr_t page_addr = first_page + (done + i) * kPageSize;
+      const uint64_t offset = page_addr > base ? page_addr - base : 0;
+      const int expected = expected_node(offset);
+      if (expected >= 0 && node != expected) ++report.pages_misplaced;
+    }
+  }
+  report.available = true;
+#endif
+  return report;
+}
+
+int NumaPlacementModel::ExpectedNode(uint64_t byte_offset) const {
+  if (worker_nodes.empty() || bytes_per_element == 0 || split_size == 0) {
+    return -1;
+  }
+  const uint64_t element = byte_offset / bytes_per_element;
+  const uint64_t task = element / split_size;
+  const int worker =
+      OwnerOfTask(task, static_cast<int>(worker_nodes.size()));
+  return worker_nodes[worker];
+}
+
+NumaPlacementModel ModelFor(const WorkerPool& pool, uint32_t split_size,
+                            uint64_t bytes_per_element) {
+  NumaPlacementModel model;
+  model.bytes_per_element = bytes_per_element;
+  model.split_size = split_size;
+  model.worker_nodes.resize(pool.num_workers());
+  for (int w = 0; w < pool.num_workers(); ++w) {
+    model.worker_nodes[w] = pool.NodeOfWorker(w);
+  }
+  return model;
+}
+
+std::string GraphPlacementAudit::ToString() const {
+  if (!available) {
+    return "numa audit unavailable: " + unavailable_reason;
+  }
+  std::string out = "numa audit (" + std::to_string(num_nodes) +
+                    " node(s), split " + std::to_string(split_size) + "):";
+  for (const NumaAuditReport& report : arrays) {
+    out += "\n  " + report.ToString();
+  }
+  return out;
+}
+
+std::string GraphPlacementAudit::ToJson() const {
+  std::string json =
+      "{\"available\":" + std::string(available ? "true" : "false");
+  if (!available) {
+    json += ",\"unavailable_reason\":\"" + JsonEscape(unavailable_reason) +
+            "\"}";
+    return json;
+  }
+  json += ",\"num_nodes\":" + std::to_string(num_nodes);
+  json += ",\"split_size\":" + std::to_string(split_size);
+  json += ",\"arrays\":[";
+  for (size_t i = 0; i < arrays.size(); ++i) {
+    if (i != 0) json += ',';
+    json += arrays[i].ToJson();
+  }
+  json += "]}";
+  return json;
+}
+
+GraphPlacementAudit AuditBfsPlacement(const Graph& graph, WorkerPool* pool,
+                                      uint32_t split_size) {
+  GraphPlacementAudit audit;
+  audit.num_nodes = pool->num_nodes();
+  audit.split_size = split_size;
+  if (!NumaAuditAvailable(&audit.unavailable_reason)) return audit;
+  audit.available = true;
+
+  const Vertex num_vertices = graph.num_vertices();
+  const int num_workers = pool->num_workers();
+
+  // CSR offsets: indexed by vertex (8 bytes each), owned by the worker
+  // of the vertex's traversal task.
+  const NumaPlacementModel offsets_model =
+      ModelFor(*pool, split_size, sizeof(EdgeIndex));
+  audit.arrays.push_back(AuditPages(
+      "csr_offsets", graph.offsets(),
+      (static_cast<size_t>(num_vertices) + 1) * sizeof(EdgeIndex),
+      audit.num_nodes,
+      [&offsets_model](uint64_t offset) {
+        return offsets_model.ExpectedNode(offset);
+      }));
+
+  // CSR targets: an edge range belongs to the worker owning its source
+  // vertex, found by binary search over the offset array.
+  const EdgeIndex* offsets = graph.offsets();
+  const NumaPlacementModel vertex_model = ModelFor(*pool, split_size, 1);
+  audit.arrays.push_back(AuditPages(
+      "csr_targets", graph.targets(),
+      static_cast<size_t>(graph.num_directed_edges()) * sizeof(Vertex),
+      audit.num_nodes,
+      [offsets, num_vertices, &vertex_model](uint64_t byte_offset) {
+        if (num_vertices == 0) return -1;
+        const EdgeIndex edge = byte_offset / sizeof(Vertex);
+        const EdgeIndex* it =
+            std::upper_bound(offsets, offsets + num_vertices + 1, edge);
+        if (it == offsets) return -1;
+        uint64_t v = static_cast<uint64_t>(it - offsets) - 1;
+        if (v >= num_vertices) v = num_vertices - 1;
+        return vertex_model.ExpectedNode(v);
+      }));
+
+  // State probe: first-touch a one-byte-per-vertex array exactly the way
+  // the kernels initialize seen/frontier/next, then check where the
+  // pages landed. This is the live end-to-end test of Section 4.4.
+  if (num_vertices > 0 && num_workers > 0) {
+    const uint32_t state_split = PageAlignedSplitSize(split_size, 1);
+    AlignedBuffer<uint8_t> probe(num_vertices);
+    uint8_t* probe_data = probe.data();
+    pool->FirstTouchFor(num_vertices, state_split,
+                        [probe_data](int, uint64_t begin, uint64_t end) {
+                          std::memset(probe_data + begin, 0, end - begin);
+                        });
+    const NumaPlacementModel state_model = ModelFor(*pool, state_split, 1);
+    audit.arrays.push_back(AuditPages(
+        "state_bytes", probe.data(), num_vertices, audit.num_nodes,
+        [&state_model](uint64_t offset) {
+          return state_model.ExpectedNode(offset);
+        }));
+  }
+  return audit;
+}
+
+}  // namespace obs
+}  // namespace pbfs

@@ -1,0 +1,114 @@
+// NUMA placement audit via move_pages(2).
+//
+// Section 4.4's placement scheme is entirely implicit: page-aligned
+// task borders plus deterministic first touch are *supposed* to leave
+// each page on the node of the worker that owns its task range, but
+// nothing in the allocator or scheduler verifies that the OS actually
+// did it (THP collapse, memory pressure migration, an accidental touch
+// from the coordinating thread — all silently break it). This auditor
+// asks the kernel where each page of an array physically resides
+// (move_pages with a null target-node list is a pure query) and
+// compares against the task-range → NUMA-region model from
+// src/platform/topology + src/sched/numa_layout, reporting per-node
+// page counts and a misplacement ratio. On single-node machines the
+// result is trivially "all pages on node 0, zero misplaced" — still
+// useful as an end-to-end check that the audit itself works.
+//
+// Availability mirrors perf_counters: move_pages can be missing
+// (non-Linux), filtered (seccomp), or denied; every report carries an
+// `available` flag plus a reason, and auditing an array never fails the
+// caller.
+#ifndef PBFS_OBS_NUMA_AUDIT_H_
+#define PBFS_OBS_NUMA_AUDIT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pbfs {
+
+class Graph;
+class WorkerPool;
+
+namespace obs {
+
+// Placement audit of one array. Pages whose residency the kernel
+// cannot report (never touched, or swapped out mid-query) count as
+// `pages_unknown` and are excluded from the misplacement ratio.
+struct NumaAuditReport {
+  std::string array;
+  bool available = false;
+  std::string unavailable_reason;
+  uint64_t pages_total = 0;
+  uint64_t pages_unknown = 0;
+  uint64_t pages_misplaced = 0;
+  std::vector<uint64_t> pages_on_node;  // indexed by NUMA node id
+
+  // Misplaced fraction of the pages that could be judged (resident and
+  // with a model expectation); 0.0 when none could.
+  double MisplacementRatio() const;
+
+  std::string ToString() const;
+  std::string ToJson() const;
+};
+
+// Expected node for the page containing `byte_offset` into the array,
+// or -1 for "no expectation" (the page is tallied per node but never
+// counted misplaced).
+using ExpectedNodeFn = std::function<int(uint64_t byte_offset)>;
+
+// Whether move_pages queries work in this process. Fills `reason` on
+// failure when non-null.
+bool NumaAuditAvailable(std::string* reason);
+
+// Queries the kernel for the residency of every page backing
+// [data, data + bytes) and judges each against `expected_node` (applied
+// to the offset of the page's first byte — with page-aligned task
+// borders, a page never straddles two owners).
+NumaAuditReport AuditPages(std::string array_name, const void* data,
+                           size_t bytes, int num_nodes,
+                           const ExpectedNodeFn& expected_node);
+
+// The paper's ownership model: element -> task (element / split_size)
+// -> worker (task mod W, matching TaskQueues round-robin dealing) ->
+// the worker's NUMA node.
+struct NumaPlacementModel {
+  uint64_t bytes_per_element = 1;
+  uint32_t split_size = 1;
+  std::vector<int> worker_nodes;
+
+  int ExpectedNode(uint64_t byte_offset) const;
+};
+
+// Model for arrays indexed by vertex, owned per the pool's worker ->
+// node assignment and the traversal split size.
+NumaPlacementModel ModelFor(const WorkerPool& pool, uint32_t split_size,
+                            uint64_t bytes_per_element);
+
+// Audit of everything a traversal touches: the CSR offset array, the
+// CSR adjacency targets (judged via the owning vertex of each edge
+// range), and a freshly first-touched one-byte-per-vertex state probe
+// that exercises the exact FirstTouchFor path the kernels use for
+// seen/frontier/next arrays.
+struct GraphPlacementAudit {
+  bool available = false;
+  std::string unavailable_reason;
+  int num_nodes = 1;
+  uint32_t split_size = 0;
+  std::vector<NumaAuditReport> arrays;
+
+  std::string ToString() const;
+  std::string ToJson() const;
+};
+
+// `pool` runs the first-touch state probe; the audit itself runs on the
+// calling thread. Not hot-path: allocates, syscalls per page chunk.
+GraphPlacementAudit AuditBfsPlacement(const Graph& graph, WorkerPool* pool,
+                                      uint32_t split_size);
+
+}  // namespace obs
+}  // namespace pbfs
+
+#endif  // PBFS_OBS_NUMA_AUDIT_H_

@@ -1,0 +1,238 @@
+// Shared observability CLI wiring for the demo and bench binaries:
+// register the flags, Start() after parsing, Finish() before exit.
+//
+//   --trace-out=PATH    write a Chrome trace_event JSON file
+//   --metrics-out=PATH  write an aggregated MetricsSnapshot JSON file
+//   --profile           record hardware counters + a NUMA placement
+//                       audit and fold them into BENCH_<name>.json
+//
+// One ObsCli instance owns the bench's BenchJson document: the bench
+// fills in its own timing fields via json(), and in profile mode
+// Finish() appends the counter totals (aggregate and per worker), the
+// derived IPC / LLC miss rate, the counters_unavailable marker, and the
+// NUMA audit object before writing the file. When the library was built
+// with PBFS_TRACING=OFF every flag still parses (so scripts don't
+// break) but warns on stderr and records nothing.
+#ifndef PBFS_OBS_OBS_CLI_H_
+#define PBFS_OBS_OBS_CLI_H_
+
+#include <cstdio>
+#include <string>
+
+#include "util/bench_json.h"
+#include "util/flags.h"
+
+#ifdef PBFS_TRACING
+#include <map>
+#include <vector>
+
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/numa_audit.h"
+#include "obs/perf_counters.h"
+#include "obs/trace.h"
+#endif
+
+namespace pbfs {
+
+class Graph;
+class WorkerPool;
+
+namespace obs {
+
+class ObsCli {
+ public:
+  explicit ObsCli(const std::string& bench_name)
+      : json_(bench_name), json_path_("BENCH_" + bench_name + ".json") {}
+
+  void Register(FlagParser* flags) {
+    flags->AddString("trace-out", &trace_path_,
+                     "write a Chrome trace_event JSON file here");
+    flags->AddString("metrics-out", &metrics_path_,
+                     "write an aggregated metrics snapshot JSON file here");
+    flags->AddBool("profile", &profile_,
+                   "record hardware counters and a NUMA placement audit; "
+                   "writes BENCH_<name>.json");
+  }
+
+  bool profiling() const { return profile_; }
+  bool active() const {
+    return profile_ || !trace_path_.empty() || !metrics_path_.empty();
+  }
+
+  // The bench's JSON document (timings etc.); written by Finish() in
+  // profile mode or when set_always_write_json(true).
+  BenchJson& json() { return json_; }
+  void set_json_path(const std::string& path) { json_path_ = path; }
+  const std::string& json_path() const { return json_path_; }
+  void set_always_write_json(bool always) { always_write_json_ = always; }
+
+  // Call once after Parse(). Starts a trace session when any obs output
+  // was requested and, in profile mode, enables the hardware counters
+  // (degrading loudly-but-harmlessly when the host denies them).
+  void Start() {
+#ifdef PBFS_TRACING
+    if (!active()) return;
+    if (profile_) {
+      backend_available_ = PerfCounters::Enable();
+      if (!backend_available_) {
+        std::fprintf(stderr, "profile: hardware counters unavailable: %s\n",
+                     PerfCounters::unavailable_reason());
+      }
+    }
+    Tracer::Get().Start({});
+    started_ = true;
+#else
+    if (!trace_path_.empty()) {
+      std::fprintf(stderr,
+                   "--trace-out=%s ignored: built with PBFS_TRACING=OFF\n",
+                   trace_path_.c_str());
+    }
+    if (!metrics_path_.empty()) {
+      std::fprintf(stderr,
+                   "--metrics-out=%s ignored: built with PBFS_TRACING=OFF\n",
+                   metrics_path_.c_str());
+    }
+    if (profile_) {
+      std::fprintf(stderr,
+                   "--profile ignored: built with PBFS_TRACING=OFF\n");
+    }
+#endif
+  }
+
+  // Audits the placement of `graph` plus a first-touch state probe run
+  // on `pool` against the task-range ownership model (profile mode
+  // only). Call between Start() and Finish(), after the graph exists.
+  void AuditPlacement(const Graph& graph, WorkerPool* pool,
+                      uint32_t split_size) {
+#ifdef PBFS_TRACING
+    if (!profile_) return;
+    const GraphPlacementAudit audit =
+        AuditBfsPlacement(graph, pool, split_size);
+    numa_json_ = audit.ToJson();
+    numa_text_ = audit.ToString();
+#else
+    (void)graph;
+    (void)pool;
+    (void)split_size;
+#endif
+  }
+
+  // Call once before exit: stops the session, writes whichever outputs
+  // were requested, and in profile mode prints the metrics table and
+  // writes the enriched BENCH_<name>.json.
+  void Finish() {
+#ifdef PBFS_TRACING
+    if (started_) {
+      const TraceDump dump = Tracer::Get().Stop();
+      started_ = false;
+      if (!trace_path_.empty() && WriteChromeTraceFile(dump, trace_path_)) {
+        std::fprintf(stderr, "trace: %llu events from %zu threads -> %s\n",
+                     static_cast<unsigned long long>(dump.total_events()),
+                     dump.threads.size(), trace_path_.c_str());
+      }
+      const MetricsSnapshot snapshot = AggregateMetrics(dump);
+      if (!metrics_path_.empty() &&
+          WriteMetricsJsonFile(snapshot, metrics_path_)) {
+        std::fprintf(stderr, "metrics: %zu entries -> %s\n",
+                     snapshot.entries.size(), metrics_path_.c_str());
+      }
+      if (profile_) {
+        std::printf("\n== profile: aggregated metrics ==\n%s",
+                    snapshot.ToString().c_str());
+        if (!numa_text_.empty()) std::printf("%s\n", numa_text_.c_str());
+        AppendProfileJson(dump);
+        PerfCounters::Disable();
+      }
+    }
+    if (profile_ || always_write_json_) json_.WriteFile(json_path_);
+#else
+    // OFF build: --profile records nothing, so it also writes nothing;
+    // only benches that always emit their JSON document still do.
+    if (always_write_json_) json_.WriteFile(json_path_);
+#endif
+  }
+
+ private:
+#ifdef PBFS_TRACING
+  void AppendProfileJson(const TraceDump& dump) {
+    json_.AddBool("profile", true);
+    json_.AddBool("counters_unavailable", !backend_available_);
+    if (!backend_available_) {
+      json_.Add("counters_unavailable_reason",
+                PerfCounters::unavailable_reason());
+    }
+    json_.Add("trace_events", dump.total_events());
+    json_.Add("trace_dropped", dump.total_dropped());
+
+    // Per-worker counter totals from the scheduler's worker spans, plus
+    // the cross-worker aggregate: skew between workers is the whole
+    // point of recording these per thread (Figure 9).
+    static const char* const kExtraKeys[] = {"local", "stolen", "elems",
+                                             "edges_scanned",
+                                             "counters_unavailable"};
+    std::map<std::string, uint64_t> totals;
+    std::string per_worker = "{";
+    bool first_worker = true;
+    for (const WorkerArgTotals& row : PerWorkerArgTotals(dump)) {
+      if (!first_worker) per_worker += ',';
+      first_worker = false;
+      per_worker += "\"" + row.label + "\":{";
+      bool first_key = true;
+      auto emit = [&](const std::string& key, uint64_t value) {
+        if (!first_key) per_worker += ',';
+        first_key = false;
+        per_worker += "\"" + key + "\":" + std::to_string(value);
+      };
+      for (int id = 0; id < kNumPerfCounters; ++id) {
+        const auto it = row.totals.find(PerfCounterArgName(id));
+        if (it == row.totals.end()) continue;
+        emit(it->first, it->second);
+        totals[it->first] += it->second;
+      }
+      for (const char* key : kExtraKeys) {
+        const auto it = row.totals.find(key);
+        if (it != row.totals.end()) emit(it->first, it->second);
+      }
+      per_worker += "}";
+    }
+    per_worker += "}";
+    json_.AddRaw("perf_per_worker", per_worker);
+
+    for (const auto& [key, value] : totals) {
+      json_.Add("total_" + key, value);
+    }
+    const auto instructions = totals.find("instructions");
+    const auto cycles = totals.find("cycles");
+    if (instructions != totals.end() && cycles != totals.end() &&
+        cycles->second > 0) {
+      json_.Add("ipc", static_cast<double>(instructions->second) /
+                           static_cast<double>(cycles->second));
+    }
+    const auto misses = totals.find("llc_misses");
+    const auto loads = totals.find("llc_loads");
+    if (misses != totals.end() && loads != totals.end() &&
+        loads->second > 0) {
+      json_.Add("llc_miss_rate", static_cast<double>(misses->second) /
+                                     static_cast<double>(loads->second));
+    }
+    if (!numa_json_.empty()) json_.AddRaw("numa_audit", numa_json_);
+  }
+#endif
+
+  BenchJson json_;
+  std::string json_path_;
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::string numa_json_;
+  std::string numa_text_;
+  bool profile_ = false;
+  bool always_write_json_ = false;
+  bool started_ = false;
+  bool backend_available_ = false;
+};
+
+}  // namespace obs
+}  // namespace pbfs
+
+#endif  // PBFS_OBS_OBS_CLI_H_

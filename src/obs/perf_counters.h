@@ -1,0 +1,130 @@
+// Hardware performance counters for the obs layer, via
+// perf_event_open(2).
+//
+// The paper's performance argument is microarchitectural (MS-PBFS is
+// memory-bandwidth-bound; direction switching trades edges scanned for
+// cache behavior; striped labeling exists to kill NUMA remote-access
+// skew), so wall-clock spans alone cannot explain *why* a level is
+// slow. This module attaches hardware counter deltas to the existing
+// spans: each worker thread owns one counter group (leader = cycles)
+// read twice around the instrumented region, and the per-counter deltas
+// become ordinary TraceArgs, which means every downstream consumer —
+// Chrome trace, MetricsSnapshot, BENCH_*.json — gets them for free.
+//
+// Degradation contract (the part that makes call sites unconditional):
+// perf is frequently unavailable — containers without CAP_PERFMON,
+// kernel.perf_event_paranoid >= 3, seccomp filters, exotic PMUs — and
+// individual events can be missing even when the PMU works (NODE cache
+// events do not exist on many parts). Every failure is absorbed here:
+//  * Enable() probes the backend once and remembers why it failed;
+//    profiling stays "requested" so spans carry an explicit
+//    `counters_unavailable=1` marker instead of silently thinning.
+//  * Each of the kNumPerfCounters events opens independently; a counter
+//    that fails to open is simply absent from the sample's valid mask.
+//  * ReadCurrentThread() on a thread whose group cannot open returns an
+//    empty sample — never an error the kernel has to handle.
+// The environment variable PBFS_PERF_DISABLE=1 forces the null backend
+// (used by tests and the CI degradation leg).
+//
+// This header is included by trace.h (ScopedSpan captures a sample at
+// construction), so it must not include any other obs header.
+#ifndef PBFS_OBS_PERF_COUNTERS_H_
+#define PBFS_OBS_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+namespace pbfs {
+namespace obs {
+
+// Counter slots, fixed at compile time. The first five open on any
+// x86/ARM PMU that supports the generic events; the NODE pair is
+// discovered at runtime (PERF_TYPE_HW_CACHE with PERF_COUNT_HW_CACHE_NODE)
+// and quantifies local vs. remote DRAM traffic on NUMA hosts.
+enum PerfCounterId : int {
+  kPerfCycles = 0,
+  kPerfInstructions = 1,
+  kPerfLlcLoads = 2,
+  kPerfLlcMisses = 3,
+  kPerfStalledBackend = 4,
+  kPerfNodeLoads = 5,    // node-local + remote memory reads
+  kPerfNodeMisses = 6,   // reads served by a remote node
+  kNumPerfCounters = 7,
+};
+
+// Arg name under which counter `id`'s delta is recorded on spans. These
+// are the keys tests, metrics, and bench_compare.py look up.
+const char* PerfCounterArgName(int id);
+
+// One point-in-time reading of the calling thread's counter group.
+// `valid` is a bitmask over PerfCounterId: a bit is set iff that
+// counter was open and read. Values are multiplex-scaled (value *
+// time_enabled / time_running), so deltas between two samples are
+// estimates when the kernel had to rotate the group.
+struct PerfSample {
+  uint64_t value[kNumPerfCounters] = {0, 0, 0, 0, 0, 0, 0};
+  uint32_t valid = 0;
+
+  bool available() const { return valid != 0; }
+};
+
+// Process-wide switch plus per-thread counter groups. All methods are
+// safe to call from any thread at any time; everything degrades to
+// cheap no-ops when profiling is off or the backend is unavailable.
+class PerfCounters {
+ public:
+  // Requests profiling. Probes the backend (once per Enable) and
+  // returns whether hardware counters actually work; on failure the
+  // request still sticks, so instrumented spans emit the
+  // `counters_unavailable` marker rather than nothing. Honors
+  // PBFS_PERF_DISABLE=1.
+  static bool Enable();
+
+  // Withdraws the request. Per-thread groups stay open (they are
+  // process-lifetime, like trace buffers) but stop being read.
+  static void Disable();
+
+  // True between Enable() and Disable(), regardless of backend health.
+  static bool enabled();
+
+  // True when Enable() managed to open a probe counter.
+  static bool backend_available();
+
+  // Human-readable reason the backend is down ("" when it is up).
+  // Process-lifetime storage.
+  static const char* unavailable_reason();
+
+  // Reads the calling thread's counter group, opening it on first use.
+  // Returns an empty sample (valid == 0) when profiling is off, the
+  // backend is down, or this thread's group failed to open.
+  static PerfSample ReadCurrentThread();
+};
+
+// Appends per-counter deltas (end - begin) to `event` for every counter
+// valid in both samples, or a single `counters_unavailable=1` arg when
+// profiling was requested but no counter could be read. Template so
+// this header stays free of obs dependencies: `Event` is TraceEvent or
+// anything else with AddArg(const char*, uint64_t).
+template <typename Event>
+inline void AddPerfDeltaArgs(Event& event, const PerfSample& begin,
+                             const PerfSample& end) {
+  if (!PerfCounters::enabled()) return;
+  const uint32_t mask = begin.valid & end.valid;
+  if (mask == 0) {
+    event.AddArg("counters_unavailable", 1);
+    return;
+  }
+  for (int id = 0; id < kNumPerfCounters; ++id) {
+    if ((mask & (1u << id)) == 0) continue;
+    // Multiplex scaling can make a later reading round below an earlier
+    // one; clamp so args (uint64_t) never wrap.
+    const uint64_t delta = end.value[id] >= begin.value[id]
+                               ? end.value[id] - begin.value[id]
+                               : 0;
+    event.AddArg(PerfCounterArgName(id), delta);
+  }
+}
+
+}  // namespace obs
+}  // namespace pbfs
+
+#endif  // PBFS_OBS_PERF_COUNTERS_H_

@@ -37,6 +37,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/perf_counters.h"
 #include "util/aligned_buffer.h"
 #include "util/timer.h"
 
@@ -60,7 +61,9 @@ enum class TraceEventType : uint8_t {
 // per-thread sequence is ordered by end timestamp and nested spans
 // appear before the span that contains them.
 struct TraceEvent {
-  static constexpr int kMaxArgs = 6;
+  // Sized for the widest emitter: a BFS level span carries 5 software
+  // args plus up to kNumPerfCounters hardware deltas, with headroom.
+  static constexpr int kMaxArgs = 14;
 
   int64_t ts_ns = 0;   // start (spans) or occurrence (instant/counter)
   int64_t dur_ns = 0;  // spans only
@@ -202,12 +205,18 @@ class Tracer {
 
 // RAII span recorded on the calling thread. Start time is taken at
 // construction, the event is appended at destruction. Arguments added
-// between are dropped silently when no session is active.
+// between are dropped silently when no session is active. When
+// PerfCounters profiling is enabled, the span brackets the calling
+// thread's counter group and appends hardware deltas (or the
+// `counters_unavailable` marker) automatically at destruction.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name) : name_(name) {
     active_ = Tracer::Get().enabled();
-    if (active_) start_ns_ = NowNanos();
+    if (active_) {
+      start_ns_ = NowNanos();
+      perf_begin_ = PerfCounters::ReadCurrentThread();
+    }
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -219,6 +228,7 @@ class ScopedSpan {
 
   ~ScopedSpan() {
     if (!active_) return;
+    AddPerfDeltaArgs(event_, perf_begin_, PerfCounters::ReadCurrentThread());
     event_.type = TraceEventType::kSpan;
     event_.name = name_;
     event_.ts_ns = start_ns_;
@@ -230,6 +240,7 @@ class ScopedSpan {
   const char* name_;
   bool active_;
   int64_t start_ns_ = 0;
+  PerfSample perf_begin_;
   TraceEvent event_;
 };
 

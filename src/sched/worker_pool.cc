@@ -122,6 +122,8 @@ void WorkerPool::ParallelFor(uint64_t total, uint32_t split_size,
 #ifdef PBFS_TRACING
     const bool tracing = obs::Tracer::Get().enabled();
     const int64_t t0 = tracing ? NowNanos() : 0;
+    obs::PerfSample perf0;
+    if (tracing) perf0 = obs::PerfCounters::ReadCurrentThread();
 #endif
     int steal_cursor = 0;
     uint64_t local = 0;
@@ -148,6 +150,8 @@ void WorkerPool::ParallelFor(uint64_t total, uint32_t split_size,
       event.AddArg("loop", loop_id);
       event.AddArg("local", local);
       event.AddArg("stolen", stolen);
+      obs::AddPerfDeltaArgs(event, perf0,
+                            obs::PerfCounters::ReadCurrentThread());
       obs::Tracer::Get().Record(event);
     }
 #endif
@@ -157,7 +161,20 @@ void WorkerPool::ParallelFor(uint64_t total, uint32_t split_size,
 
 void WorkerPool::ParallelForStatic(uint64_t total, const RangeBody& body) {
   if (total == 0) return;
-  std::function<void(int)> job = [this, total, &body](int worker_id) {
+#ifdef PBFS_TRACING
+  const uint64_t loop_id =
+      g_loop_counter.fetch_add(1, std::memory_order_relaxed);
+  obs::ScopedSpan loop_span("sched.parallel_for_static");
+  loop_span.AddArg("loop", loop_id);
+  loop_span.AddArg("total", total);
+#endif
+  std::function<void(int)> job = [&, this, total](int worker_id) {
+#ifdef PBFS_TRACING
+    const bool tracing = obs::Tracer::Get().enabled();
+    const int64_t t0 = tracing ? NowNanos() : 0;
+    obs::PerfSample perf0;
+    if (tracing) perf0 = obs::PerfCounters::ReadCurrentThread();
+#endif
     uint64_t w = static_cast<uint64_t>(worker_id);
     uint64_t workers = static_cast<uint64_t>(num_workers_);
     // Partition borders are rounded to multiples of 64 so kernels whose
@@ -170,6 +187,21 @@ void WorkerPool::ParallelForStatic(uint64_t total, const RangeBody& body) {
     uint64_t begin = border(w);
     uint64_t end = border(w + 1);
     if (begin < end) body(worker_id, begin, end);
+#ifdef PBFS_TRACING
+    // One span per worker per static loop, mirroring sched.worker_loop:
+    // `elems` is the worker's contiguous share, so per-worker counter
+    // deltas are attributable to a known slice of the iteration space
+    // (the Figure 9 skew experiments read these).
+    if (tracing) {
+      obs::TraceEvent event =
+          obs::MakeSpan("sched.worker_static", t0, NowNanos());
+      event.AddArg("loop", loop_id);
+      event.AddArg("elems", begin < end ? end - begin : 0);
+      obs::AddPerfDeltaArgs(event, perf0,
+                            obs::PerfCounters::ReadCurrentThread());
+      obs::Tracer::Get().Record(event);
+    }
+#endif
   };
   Dispatch(job);
 }

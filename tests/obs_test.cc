@@ -9,6 +9,7 @@
 // Chrome trace JSON must round-trip through a real parser even with
 // hostile event names. Labeled "obs" in CMake; see docs/observability.md.
 
+#include <atomic>
 #include <cctype>
 #include <cstdint>
 #include <map>
@@ -16,6 +17,7 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -401,6 +403,57 @@ TEST(ObsTraceTest, FullRingDropsNewestAndCountsDrops) {
             std::string::npos);
 }
 
+// Overflow accounting must stay exact when many writers fill their
+// rings at once: the rings are strictly per-thread, so each thread
+// keeps exactly its first `capacity` events (drop-newest) and counts
+// the rest, with no cross-thread interference in either tally.
+TEST(ObsTraceTest, ConcurrentWritersOverflowWithExactDropAccounting) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kCapacity = 4;
+  constexpr uint64_t kEventsPerThread = 100;
+
+  Tracer::Options options;
+  options.events_per_thread = kCapacity;
+  Tracer::Get().Start(options);
+
+  std::atomic<int> ready{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&ready] {
+      // Rendezvous so the rings fill while all writers are live, not
+      // one thread at a time.
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }
+      for (uint64_t i = 0; i < kEventsPerThread; ++i) {
+        TraceEvent event = obs::MakeInstant("flood", NowNanos());
+        event.AddArg("i", i);
+        Tracer::Get().Record(event);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  TraceDump dump = Tracer::Get().Stop();
+
+  ASSERT_EQ(dump.threads.size(), static_cast<size_t>(kThreads));
+  for (const TraceThreadDump& thread : dump.threads) {
+    ASSERT_EQ(thread.events.size(), kCapacity);
+    EXPECT_EQ(thread.dropped, kEventsPerThread - kCapacity);
+    // Drop-newest per ring: the kept prefix is that thread's first
+    // kCapacity events, in order.
+    for (uint64_t i = 0; i < kCapacity; ++i) {
+      EXPECT_EQ(thread.events[i].Arg("i"), i);
+    }
+  }
+  EXPECT_EQ(dump.total_events(), kThreads * kCapacity);
+  EXPECT_EQ(dump.total_dropped(),
+            kThreads * (kEventsPerThread - kCapacity));
+  EXPECT_NE(ChromeTraceJson(dump).find(
+                "\"dropped_events\":" +
+                std::to_string(kThreads * (kEventsPerThread - kCapacity))),
+            std::string::npos);
+}
+
 TEST(ObsTraceTest, SessionsAreIndependent) {
   Tracer::Get().Start();
   Tracer::Get().Record(obs::MakeInstant("first-session", NowNanos()));
@@ -732,6 +785,41 @@ TEST(ObsMetricsTest, MergesAcrossWorkerThreads) {
   const uint64_t tasks_per_loop = (uint64_t{1} << 14) / 64;
   EXPECT_EQ(loops->arg_totals.at("local") + loops->arg_totals.at("stolen"),
             2 * tasks_per_loop);
+}
+
+// Derived hardware metrics come straight from the summed args, and are
+// absent (not zero, not NaN) when the counters never made it into the
+// trace.
+TEST(ObsMetricsTest, DerivedHardwareMetricsFollowArgTotals) {
+  Tracer::Get().Start();
+  const int64_t now = NowNanos();
+  TraceEvent with_counters = obs::MakeSpan("hot.level", now, now + 1000);
+  with_counters.AddArg("cycles", 2000);
+  with_counters.AddArg("instructions", 1000);
+  with_counters.AddArg("llc_loads", 500);
+  with_counters.AddArg("llc_misses", 50);
+  with_counters.AddArg("edges_scanned", 800);
+  Tracer::Get().Record(with_counters);
+  Tracer::Get().Record(obs::MakeSpan("plain.level", now, now + 1000));
+  TraceDump dump = Tracer::Get().Stop();
+
+  MetricsSnapshot snapshot = AggregateMetrics(dump);
+  const MetricsSnapshot::Entry* hot = snapshot.Find("hot.level");
+  ASSERT_NE(hot, nullptr);
+  ASSERT_TRUE(hot->Ipc().has_value());
+  EXPECT_DOUBLE_EQ(*hot->Ipc(), 0.5);
+  ASSERT_TRUE(hot->LlcMissRate().has_value());
+  EXPECT_DOUBLE_EQ(*hot->LlcMissRate(), 0.1);
+  ASSERT_TRUE(hot->LlcBytesPerEdge().has_value());
+  EXPECT_DOUBLE_EQ(*hot->LlcBytesPerEdge(), 50.0 * kCacheLineSize / 800.0);
+
+  const MetricsSnapshot::Entry* plain = snapshot.Find("plain.level");
+  ASSERT_NE(plain, nullptr);
+  EXPECT_FALSE(plain->Ipc().has_value());
+  EXPECT_FALSE(plain->LlcMissRate().has_value());
+  EXPECT_FALSE(plain->LlcBytesPerEdge().has_value());
+  // The derived block shows up in ToString only where it exists.
+  EXPECT_NE(snapshot.ToString().find("ipc="), std::string::npos);
 }
 
 #endif  // PBFS_TRACING
