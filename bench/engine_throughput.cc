@@ -113,6 +113,10 @@ int main(int argc, char** argv) {
                         std::end(pbfs::kSupportedWidths),
                         std::min<int64_t>(queries, 1024)));
   pbfs::QueryEngine engine(graph, &pool, options);
+  // Live telemetry (--serve-metrics): scrape windowed latency quantiles
+  // and queue depth while the burst loop below runs.
+  obs_cli.WatchPool(&pool);
+  obs_cli.WatchEngine(&engine);
   double engine_s = pbfs::bench::MedianSeconds(trials, [&] {
     std::vector<pbfs::QueryEngine::Submission> subs;
     subs.reserve(sources.size());

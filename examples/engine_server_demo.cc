@@ -5,10 +5,28 @@
 // front-end would. Prints per-type counts, end-to-end throughput, and
 // the engine's stats dump (batch occupancy, coalesce wait).
 //
+// Two modes:
+//  * One-shot (default): each client submits --queries_per_client
+//    queries and exits.
+//  * Server (--run-seconds > 0): clients loop, sustaining a mixed
+//    workload until the time is up or a SIGINT/SIGTERM arrives. With
+//    --serve-metrics=PORT the live telemetry endpoints (/metrics,
+//    /healthz, /debug/trace) and the stall watchdog run alongside;
+//    scrape while it runs. Shutdown is graceful either way: stop
+//    admitting, drain the engine, flush the final metrics/trace
+//    outputs, then stop the metrics server.
+//
+// --inject-slow-query-ms=N submits one artificially slow query
+// (Query::debug_delay_ms) after startup so the watchdog's slow-query
+// report and flight-recorder dump can be exercised end-to-end.
+//
 //   ./engine_server_demo [--vertices_log2 16] [--clients 8]
 //                        [--queries_per_client 64] [--threads N]
+//                        [--run-seconds 0] [--serve-metrics PORT]
+//                        [--inject-slow-query-ms 0]
 
 #include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -21,23 +39,72 @@
 #include "util/rng.h"
 #include "util/timer.h"
 
+namespace {
+
+// Written by the signal handler, polled by the client loops. A plain
+// lock-free atomic store is async-signal-safe.
+std::atomic<bool> g_stop{false};
+
+void HandleStopSignal(int /*signum*/) {
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+pbfs::Query RandomQuery(pbfs::Rng& rng, pbfs::Vertex n) {
+  pbfs::Query query;
+  query.source = static_cast<pbfs::Vertex>(rng.NextBounded(n));
+  switch (rng.NextBounded(4)) {
+    case 0:
+      query.type = pbfs::QueryType::kLevels;
+      break;
+    case 1:
+      query.type = pbfs::QueryType::kDistances;
+      for (int t = 0; t < 4; ++t) {
+        query.targets.push_back(
+            static_cast<pbfs::Vertex>(rng.NextBounded(n)));
+      }
+      break;
+    case 2:
+      query.type = pbfs::QueryType::kReachability;
+      query.targets.push_back(static_cast<pbfs::Vertex>(rng.NextBounded(n)));
+      break;
+    default:
+      query.type = pbfs::QueryType::kKHop;
+      query.max_hops = 3;
+      break;
+  }
+  return query;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   int64_t vertices_log2 = 16;
   int64_t clients = 8;
   int64_t queries_per_client = 64;
   int64_t threads = 4;
+  double run_seconds = 0;
+  double inject_slow_query_ms = 0;
   pbfs::FlagParser flags(
       "Concurrent BFS query engine demo: multi-threaded clients, "
-      "coalesced MS-PBFS batches");
+      "coalesced MS-PBFS batches, optional live telemetry server");
   flags.AddInt64("vertices_log2", &vertices_log2, "log2 of graph size");
   flags.AddInt64("clients", &clients, "client threads");
   flags.AddInt64("queries_per_client", &queries_per_client,
-                 "queries submitted by each client");
+                 "queries submitted by each client (one-shot mode)");
   flags.AddInt64("threads", &threads, "BFS worker threads");
+  flags.AddDouble("run-seconds", &run_seconds,
+                  "sustain the workload this long instead of a fixed "
+                  "query count (0 = one-shot); SIGINT/SIGTERM ends early");
+  flags.AddDouble("inject-slow-query-ms", &inject_slow_query_ms,
+                  "submit one artificially slow query to trip the "
+                  "watchdog (0 = none)");
   pbfs::obs::ObsCli obs_cli("engine_server_demo");
   obs_cli.Register(&flags);
   flags.Parse(argc, argv);
   obs_cli.Start();
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
 
   pbfs::Graph graph = pbfs::SocialNetwork({
       .num_vertices = pbfs::Vertex{1} << vertices_log2,
@@ -50,8 +117,11 @@ int main(int argc, char** argv) {
   pbfs::WorkerPool pool({.num_workers = static_cast<int>(threads)});
   obs_cli.AuditPlacement(graph, &pool, pbfs::BfsOptions{}.split_size);
   pbfs::QueryEngine engine(graph, &pool);
+  obs_cli.WatchPool(&pool);
+  obs_cli.WatchEngine(&engine);
 
   std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> submitted{0};
   std::atomic<uint64_t> reached_sum{0};
   pbfs::Timer timer;
   std::vector<std::thread> client_threads;
@@ -59,31 +129,15 @@ int main(int argc, char** argv) {
     client_threads.emplace_back([&, c] {
       pbfs::Rng rng(static_cast<uint64_t>(c) + 1);
       const pbfs::Vertex n = graph.num_vertices();
-      for (int64_t q = 0; q < queries_per_client; ++q) {
-        pbfs::Query query;
-        query.source = static_cast<pbfs::Vertex>(rng.NextBounded(n));
-        switch (rng.NextBounded(4)) {
-          case 0:
-            query.type = pbfs::QueryType::kLevels;
-            break;
-          case 1:
-            query.type = pbfs::QueryType::kDistances;
-            for (int t = 0; t < 4; ++t) {
-              query.targets.push_back(
-                  static_cast<pbfs::Vertex>(rng.NextBounded(n)));
-            }
-            break;
-          case 2:
-            query.type = pbfs::QueryType::kReachability;
-            query.targets.push_back(
-                static_cast<pbfs::Vertex>(rng.NextBounded(n)));
-            break;
-          default:
-            query.type = pbfs::QueryType::kKHop;
-            query.max_hops = 3;
-            break;
+      for (int64_t q = 0;; ++q) {
+        if (g_stop.load(std::memory_order_relaxed)) break;
+        if (run_seconds > 0) {
+          if (timer.ElapsedSeconds() >= run_seconds) break;
+        } else if (q >= queries_per_client) {
+          break;
         }
-        auto sub = engine.Submit(std::move(query));
+        auto sub = engine.Submit(RandomQuery(rng, n));
+        submitted.fetch_add(1, std::memory_order_relaxed);
         pbfs::QueryResult result = sub.result.get();
         if (result.status == pbfs::QueryStatus::kOk) {
           ok.fetch_add(1, std::memory_order_relaxed);
@@ -93,25 +147,46 @@ int main(int argc, char** argv) {
       }
     });
   }
+
+  if (inject_slow_query_ms > 0) {
+    // Let the workload warm up, then wedge the dispatcher once. The
+    // watchdog (--watchdog / --serve-metrics) should emit exactly one
+    // slow-query report and one flight-recorder dump for this.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    pbfs::Query slow;
+    slow.type = pbfs::QueryType::kLevels;
+    slow.source = 0;
+    slow.debug_delay_ms = inject_slow_query_ms;
+    std::printf("injecting one slow query (%.0f ms)\n", inject_slow_query_ms);
+    auto sub = engine.Submit(std::move(slow));
+    submitted.fetch_add(1, std::memory_order_relaxed);
+    sub.result.get();
+  }
+
   for (std::thread& t : client_threads) t.join();
   const double elapsed_s = timer.ElapsedSeconds();
-  // Settle the dispatcher's post-batch bookkeeping so the stats (and
-  // the trace's terminal events) cover every submitted query.
+  // Graceful shutdown, signal or not: no new queries are being
+  // admitted (clients joined), so drain what is in flight...
   engine.Drain();
 
-  const uint64_t total =
-      static_cast<uint64_t>(clients) * static_cast<uint64_t>(queries_per_client);
-  std::printf("%lld clients x %lld queries: %llu ok in %.3f s "
-              "(%.1f queries/s end-to-end)\n",
+  const uint64_t total = submitted.load();
+  std::printf("%lld clients, %llu queries: %llu ok in %.3f s "
+              "(%.1f queries/s end-to-end)%s\n",
               static_cast<long long>(clients),
-              static_cast<long long>(queries_per_client),
+              static_cast<unsigned long long>(total),
               static_cast<unsigned long long>(ok.load()), elapsed_s,
-              static_cast<double>(total) / elapsed_s);
+              static_cast<double>(total) / elapsed_s,
+              g_stop.load() ? " [stopped by signal]" : "");
   std::printf("engine stats: %s\n", engine.Stats().ToString().c_str());
   obs_cli.json().Add("clients", clients);
-  obs_cli.json().Add("queries_per_client", queries_per_client);
+  obs_cli.json().Add("queries_submitted", total);
   obs_cli.json().Add("queries_ok", ok.load());
   obs_cli.json().Add("queries_per_s", static_cast<double>(total) / elapsed_s);
+  obs_cli.json().AddBool("stopped_by_signal", g_stop.load());
+  // ... then flush the final metrics/trace outputs and stop the
+  // watchdog and metrics server (Finish does all of it, in that order,
+  // before the engine and pool go out of scope).
   obs_cli.Finish();
+  std::printf("shutdown complete\n");
   return 0;
 }

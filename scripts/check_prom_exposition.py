@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (format 0.0.4) document.
+
+CI curls /metrics from a live binary and pipes the body through this
+checker; it enforces the structural rules a real Prometheus scraper
+relies on, without needing Prometheus itself in the image:
+
+  * every line is a comment, blank, or `name{labels} value [ts]`
+  * metric and label names match the exposition grammar
+  * a family's # TYPE precedes its samples, and all samples of a
+    family are contiguous (an interleaved family is the classic
+    hand-rolled-exporter bug)
+  * values parse as Go floats (including +Inf/-Inf/NaN)
+  * histogram `_bucket` series are cumulative and close with le="+Inf"
+  * summary quantile values are non-decreasing in the quantile
+  * counters are finite and non-negative
+
+Usage:
+    curl -s localhost:9464/metrics | \
+        scripts/check_prom_exposition.py --require pbfs_scrapes_total
+
+Exit 0 when the document is valid and every --require family has at
+least one sample; 1 otherwise, with each violation on stderr.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name{label="value",...} value [timestamp] -- labels optional.
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)(?: (?P<ts>-?[0-9]+))?$")
+LABEL_PAIR = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+
+def base_family(name):
+    """Family a sample line belongs to (strips histogram/summary suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)  # raises ValueError on junk
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate Prometheus text exposition read from stdin.")
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="FAMILY",
+        help="fail unless this family has at least one sample "
+             "(repeatable)")
+    args = parser.parse_args()
+
+    errors = []
+    types = {}            # family -> declared type
+    seen_samples = set()  # families that have emitted at least one sample
+    closed = set()        # families whose sample block has ended
+    buckets = {}          # (family, frozen labels sans le) -> last cumulative
+    quantiles = {}        # (family, labels sans quantile) -> (last q, last v)
+    current = None        # family of the contiguous block being read
+
+    for lineno, raw in enumerate(sys.stdin.read().splitlines(), start=1):
+        def err(message):
+            errors.append(f"line {lineno}: {message}: {raw!r}")
+
+        if raw.startswith("# TYPE "):
+            parts = raw.split(" ", 3)
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"):
+                err("malformed # TYPE")
+                continue
+            if parts[2] in types:
+                err("duplicate # TYPE for family")
+            types[parts[2]] = parts[3]
+            continue
+        if raw.startswith("#") or not raw.strip():
+            continue
+
+        match = SAMPLE.match(raw)
+        if not match:
+            err("not a comment, blank, or sample line")
+            continue
+        name = match.group("name")
+        family = base_family(name)
+        if not METRIC_NAME.match(name):
+            err("invalid metric name")
+        if family not in types:
+            err("sample before its # TYPE header")
+        if family != current:
+            if family in closed:
+                err("family samples are not contiguous")
+            if current is not None:
+                closed.add(current)
+            current = family
+        seen_samples.add(family)
+
+        labels = {}
+        label_text = match.group("labels")
+        if label_text is not None:
+            consumed = 0
+            for pair in LABEL_PAIR.finditer(label_text):
+                labels[pair.group("name")] = pair.group("value")
+                consumed = pair.end()
+                if not LABEL_NAME.match(pair.group("name")):
+                    err("invalid label name")
+            # Anything the pair regex did not eat (besides commas) is a
+            # quoting or escaping bug in the exporter.
+            leftovers = label_text[consumed:].replace(",", "").strip()
+            if leftovers:
+                err(f"unparsable label text {leftovers!r}")
+
+        try:
+            value = parse_value(match.group("value"))
+        except ValueError:
+            err("unparsable sample value")
+            continue
+
+        family_type = types.get(family)
+        if family_type == "counter" and not value >= 0:
+            err("counter value must be finite and non-negative")
+        if family_type == "histogram" and name.endswith("_bucket"):
+            if "le" not in labels:
+                err("_bucket series without an le label")
+            else:
+                key = (family,
+                       tuple(sorted((k, v) for k, v in labels.items()
+                                    if k != "le")))
+                if value < buckets.get(key, 0):
+                    err("histogram buckets are not cumulative")
+                buckets[key] = value
+                if labels["le"] == "+Inf":
+                    buckets.pop(key)  # family closed correctly
+        if family_type == "summary" and "quantile" in labels:
+            key = (family,
+                   tuple(sorted((k, v) for k, v in labels.items()
+                                if k != "quantile")))
+            q = float(labels["quantile"])
+            last_q, last_v = quantiles.get(key, (-1.0, -math.inf))
+            if q <= last_q:
+                err("summary quantiles out of order")
+            if value < last_v:
+                err("summary quantile values decrease with q")
+            quantiles[key] = (q, value)
+
+    for key in buckets:
+        errors.append(f"histogram {key[0]} never closed with le=\"+Inf\"")
+    for family in args.require:
+        if family not in seen_samples:
+            errors.append(f"required family {family} has no samples")
+
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} exposition violation(s)", file=sys.stderr)
+        return 1
+    print(f"exposition ok: {len(seen_samples)} families with samples")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

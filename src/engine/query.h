@@ -39,6 +39,11 @@ struct Query {
   // query whose deadline has passed when the dispatcher picks it up
   // completes with kDeadlineExceeded without being traversed.
   int64_t deadline_ns = 0;
+  // Test/ops fault injection: the dispatcher sleeps this long while
+  // executing the batch containing this query, simulating a slow
+  // traversal so watchdog and latency telemetry can be exercised
+  // end-to-end. 0 (the default) costs nothing.
+  double debug_delay_ms = 0;
 };
 
 enum class QueryStatus : uint8_t {

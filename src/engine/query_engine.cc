@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "algorithms/khop.h"
 #include "bfs/multi_source.h"
@@ -10,6 +11,7 @@
 #include "util/timer.h"
 
 #ifdef PBFS_TRACING
+#include "obs/live/metrics_registry.h"
 #include "obs/trace.h"
 #endif
 
@@ -99,6 +101,11 @@ QueryEngine::QueryEngine(const Graph& graph, Executor* executor,
 }
 
 QueryEngine::~QueryEngine() {
+#ifdef PBFS_TRACING
+  // Withdraw the scrape collector before any member it reads goes away;
+  // a scrape racing the destructor sees the registry without us.
+  if (live_registry_ != nullptr) live_registry_->RemoveCollectors(this);
+#endif
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
@@ -219,21 +226,41 @@ void QueryEngine::DispatcherMain() {
     }
     std::vector<PendingQuery> batch = TakeBatchLocked();
     if (batch.empty()) continue;
+#ifdef PBFS_TRACING
+    // Popped off pending_ but not yet completed: record the batch so
+    // InFlightQueries() (the watchdog's admission feed) still sees it.
+    executing_.clear();
+    for (const PendingQuery& q : batch) {
+      executing_.push_back(InFlightQuery{q.id, q.submit_ns, q.query.type});
+    }
+#endif
     lock.unlock();
     const int width = ExecuteBatch(batch);
     const int64_t batch_done_ns = NowNanos();
     lock.lock();
+#ifdef PBFS_TRACING
+    executing_.clear();
+#endif
     if (batch.size() == 1) {
       ++stats_.single_runs;
     } else {
       ++stats_.batches_run;
-      stats_.batch_occupancy.Add(static_cast<double>(batch.size()) /
-                                 static_cast<double>(width));
+      const double occupancy = static_cast<double>(batch.size()) /
+                               static_cast<double>(width);
+      stats_.batch_occupancy.Add(occupancy);
+#ifdef PBFS_TRACING
+      occupancy_window_.Add(occupancy, batch_done_ns);
+#endif
     }
     stats_.queries_completed += batch.size();
     for (const PendingQuery& q : batch) {
-      stats_.latency_ms.Add(
-          static_cast<double>(batch_done_ns - q.submit_ns) / 1e6);
+      const double latency_ms =
+          static_cast<double>(batch_done_ns - q.submit_ns) / 1e6;
+      stats_.latency_ms.Add(latency_ms);
+#ifdef PBFS_TRACING
+      latency_windows_[static_cast<int>(q.query.type)].Add(latency_ms,
+                                                           batch_done_ns);
+#endif
     }
     PBFS_CHECK(outstanding_ >= batch.size());
     outstanding_ -= batch.size();
@@ -297,11 +324,19 @@ int QueryEngine::ExecuteBatch(std::vector<PendingQuery>& batch) {
   // Bounded traversal when every query in the batch is radius-bounded
   // (k-hop): the batch only travels as far as its widest radius.
   Level needed = 0;
+  double inject_delay_ms = 0;
   for (size_t i = 0; i < count; ++i) {
     const Query& q = batch[i].query;
     sources[i] = q.source;
     needed = std::max(needed,
                       q.type == QueryType::kKHop ? q.max_hops : kMaxLevel);
+    inject_delay_ms = std::max(inject_delay_ms, q.debug_delay_ms);
+  }
+  if (inject_delay_ms > 0) {
+    // Fault injection (Query::debug_delay_ms): stall the dispatcher as
+    // a pathologically slow traversal would.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(inject_delay_ms));
   }
   BfsOptions options = options_.bfs;
   options.max_level = std::min(options_.bfs.max_level, needed);
@@ -368,5 +403,123 @@ QueryResult QueryEngine::ExtractResult(const Query& query,
   }
   return result;
 }
+
+#ifdef PBFS_TRACING
+
+std::vector<QueryEngine::InFlightQuery> QueryEngine::InFlightQueries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<InFlightQuery> in_flight = executing_;
+  in_flight.reserve(executing_.size() + pending_.size());
+  for (const PendingQuery& q : pending_) {
+    in_flight.push_back(InFlightQuery{q.id, q.submit_ns, q.query.type});
+  }
+  return in_flight;
+}
+
+size_t QueryEngine::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+void QueryEngine::ExportLiveMetrics(obs::MetricsRegistry* registry) {
+  PBFS_CHECK(registry != nullptr);
+  live_registry_ = registry;
+  registry->AddCollector(
+      this, [this](obs::ExpositionWriter& writer) {
+        CollectLiveMetrics(writer);
+      });
+}
+
+void QueryEngine::CollectLiveMetrics(obs::ExpositionWriter& writer) const {
+  const int64_t now = NowNanos();
+  uint64_t counter_values[7];
+  double queue_depth, inflight;
+  obs::RollingWindow::Stats latency[kNumQueryTypes];
+  obs::RollingWindow::Stats occupancy;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counter_values[0] = stats_.queries_admitted;
+    counter_values[1] = stats_.queries_completed;
+    counter_values[2] = stats_.queries_cancelled;
+    counter_values[3] = stats_.queries_expired;
+    counter_values[4] = stats_.queries_invalid;
+    counter_values[5] = stats_.batches_run;
+    counter_values[6] = stats_.single_runs;
+    queue_depth = static_cast<double>(pending_.size());
+    inflight = static_cast<double>(outstanding_);
+  }
+  // The rolling windows carry their own locks; read them outside
+  // mutex_ so a scrape never extends the dispatcher's critical section.
+  for (int t = 0; t < kNumQueryTypes; ++t) {
+    latency[t] = latency_windows_[t].WindowStats(now);
+  }
+  occupancy = occupancy_window_.WindowStats(now);
+
+  static const char* const kCounterNames[7] = {
+      "pbfs_engine_queries_admitted_total",
+      "pbfs_engine_queries_completed_total",
+      "pbfs_engine_queries_cancelled_total",
+      "pbfs_engine_queries_expired_total",
+      "pbfs_engine_queries_invalid_total",
+      "pbfs_engine_dispatch_batches_total",
+      "pbfs_engine_dispatch_singles_total"};
+  static const char* const kCounterHelp[7] = {
+      "Queries accepted by Submit().",
+      "Queries completed with status ok.",
+      "Queries completed as cancelled.",
+      "Queries whose deadline passed before dispatch.",
+      "Queries rejected for out-of-range vertices.",
+      "Multi-query coalesced dispatches.",
+      "Lone-query fallback dispatches."};
+  for (int i = 0; i < 7; ++i) {
+    writer.BeginFamily(kCounterNames[i], kCounterHelp[i], "counter");
+    writer.Sample(kCounterNames[i], {},
+                  static_cast<double>(counter_values[i]));
+  }
+  writer.BeginFamily("pbfs_engine_queue_depth",
+                     "Queries awaiting dispatch.", "gauge");
+  writer.Sample("pbfs_engine_queue_depth", {}, queue_depth);
+  writer.BeginFamily("pbfs_engine_inflight_queries",
+                     "Admitted queries not yet completed (queued or "
+                     "executing).",
+                     "gauge");
+  writer.Sample("pbfs_engine_inflight_queries", {}, inflight);
+
+  // Windowed (not lifetime) quantiles: the whole point of the rolling
+  // windows. Types with no samples in the window emit only _sum/_count
+  // so dashboards see an explicit zero rather than a stale quantile.
+  writer.BeginFamily("pbfs_engine_query_latency_ms",
+                     "Submit-to-completion latency over the rolling "
+                     "window, per query type.",
+                     "summary");
+  for (int t = 0; t < kNumQueryTypes; ++t) {
+    const std::vector<obs::MetricLabel> labels = {
+        {"type", QueryTypeName(static_cast<QueryType>(t))}};
+    obs::ExpositionWriter::SummaryData data;
+    data.sum = latency[t].sum;
+    data.count = latency[t].count;
+    if (latency[t].count > 0) {
+      data.quantiles = {{0.5, latency[t].p50},
+                        {0.95, latency[t].p95},
+                        {0.99, latency[t].p99}};
+    }
+    writer.SummarySamples("pbfs_engine_query_latency_ms", labels, data);
+  }
+  writer.BeginFamily("pbfs_engine_batch_occupancy",
+                     "Queries per batch slot over the rolling window "
+                     "(multi-query dispatches only).",
+                     "summary");
+  obs::ExpositionWriter::SummaryData occ;
+  occ.sum = occupancy.sum;
+  occ.count = occupancy.count;
+  if (occupancy.count > 0) {
+    occ.quantiles = {{0.5, occupancy.p50},
+                     {0.95, occupancy.p95},
+                     {0.99, occupancy.p99}};
+  }
+  writer.SummarySamples("pbfs_engine_batch_occupancy", {}, occ);
+}
+
+#endif  // PBFS_TRACING
 
 }  // namespace pbfs

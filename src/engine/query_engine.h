@@ -41,6 +41,17 @@
 #include "sched/executor.h"
 #include "util/stats.h"
 
+#ifdef PBFS_TRACING
+#include "obs/live/rolling_window.h"
+
+namespace pbfs {
+namespace obs {
+class ExpositionWriter;
+class MetricsRegistry;
+}  // namespace obs
+}  // namespace pbfs
+#endif
+
 namespace pbfs {
 
 struct QueryEngineOptions {
@@ -117,6 +128,29 @@ class QueryEngine {
 
   const QueryEngineOptions& options() const { return options_; }
 
+#ifdef PBFS_TRACING
+  // ---- Live telemetry (tracing builds only) ----
+
+  // One admitted-but-not-completed query: still queued or inside the
+  // batch currently executing. Fed to the stall watchdog so a query
+  // stuck in a wedged batch is visible before its future resolves.
+  struct InFlightQuery {
+    uint64_t id = 0;
+    int64_t submit_ns = 0;
+    QueryType type = QueryType::kLevels;
+  };
+  std::vector<InFlightQuery> InFlightQueries() const;
+
+  // Queries awaiting dispatch (excludes the executing batch).
+  size_t QueueDepth() const;
+
+  // Registers a scrape-time collector on `registry` exporting windowed
+  // per-type latency quantiles, batch occupancy, queue depth, and the
+  // lifetime counters. The engine withdraws the collector in its
+  // destructor; `registry` must outlive the engine.
+  void ExportLiveMetrics(obs::MetricsRegistry* registry);
+#endif
+
  private:
   struct PendingQuery {
     uint64_t id = 0;
@@ -139,6 +173,13 @@ class QueryEngine {
   QueryResult ExtractResult(const Query& query, const Level* row) const;
   void CompleteLocked(PendingQuery& pending, QueryStatus status);
 
+#ifdef PBFS_TRACING
+  // Appends the engine's exposition families. Called by the registered
+  // collector under the registry lock; takes mutex_ itself, so callers
+  // must not already hold it (lock order: registry -> engine).
+  void CollectLiveMetrics(obs::ExpositionWriter& writer) const;
+#endif
+
   const Graph& graph_;
   Executor* executor_;
   const QueryEngineOptions options_;
@@ -158,6 +199,20 @@ class QueryEngine {
   uint64_t outstanding_ = 0;  // admitted but not yet completed
   bool stopping_ = false;
   QueryEngineStats stats_;
+
+#ifdef PBFS_TRACING
+  // Queries inside the batch currently executing (the dispatcher has
+  // popped them off pending_ but their promises are unresolved).
+  // Guarded by mutex_.
+  std::vector<InFlightQuery> executing_;
+  // Rolling windows behind the windowed quantiles: one latency window
+  // per query type plus one for batch occupancy. Internally locked;
+  // written by the dispatcher, read at scrape time.
+  static constexpr int kNumQueryTypes = 4;
+  obs::RollingWindow latency_windows_[kNumQueryTypes];
+  obs::RollingWindow occupancy_window_;
+  obs::MetricsRegistry* live_registry_ = nullptr;  // set by ExportLiveMetrics
+#endif
 
   std::thread dispatcher_;
 };

@@ -1,0 +1,174 @@
+#include "obs/live/http_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace pbfs {
+namespace obs {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+// Writes the whole buffer, tolerating short writes and EINTR. MSG_NOSIGNAL
+// turns a peer hangup into EPIPE instead of killing the process.
+void SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // peer went away; nothing useful to do
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+void MetricsHttpServer::AddRoute(const std::string& path, Handler handler) {
+  routes_[path] = std::move(handler);
+}
+
+bool MetricsHttpServer::Start(const Options& options) {
+  if (running()) return true;
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    std::fprintf(stderr, "metrics server: socket(): %s\n",
+                 std::strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr =
+      htonl(options.loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      listen(listen_fd_, /*backlog=*/16) < 0) {
+    std::fprintf(stderr, "metrics server: cannot bind port %d: %s\n",
+                 options.port, std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = options.port;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void MetricsHttpServer::Stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // Unblock accept(): shutdown makes the blocked call return on Linux;
+  // close() finishes the job.
+  shutdown(listen_fd_, SHUT_RDWR);
+  close(listen_fd_);
+  if (thread_.joinable()) thread_.join();
+  listen_fd_ = -1;
+  port_ = -1;
+}
+
+void MetricsHttpServer::AcceptLoop() {
+  while (running()) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket closed by Stop()
+    }
+    // Bound the damage a stuck client can do: 2 s to send its request,
+    // then the connection is abandoned and the loop moves on.
+    timeval timeout{2, 0};
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    HandleConnection(fd);
+    close(fd);
+  }
+}
+
+void MetricsHttpServer::HandleConnection(int fd) {
+  // Read until the end of the request headers (or 8 KiB, whichever
+  // comes first); only the request line is interpreted.
+  std::string request;
+  char buf[2048];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  Response response;
+  const size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    response.status = 400;
+    response.body = "bad request\n";
+  } else if (line.substr(0, sp1) != "GET") {
+    response.status = 405;
+    response.body = "only GET is supported\n";
+  } else {
+    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+    const auto route = routes_.find(path);
+    if (route == routes_.end()) {
+      response.status = 404;
+      response.body = "no such endpoint; try /metrics, /healthz, "
+                      "/debug/trace\n";
+    } else {
+      response = route->second();
+    }
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  char header[256];
+  const int header_len = std::snprintf(
+      header, sizeof(header),
+      "HTTP/1.1 %d %s\r\n"
+      "Content-Type: %s\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: close\r\n"
+      "\r\n",
+      response.status, StatusText(response.status),
+      response.content_type.c_str(), response.body.size());
+  SendAll(fd, header, static_cast<size_t>(header_len));
+  SendAll(fd, response.body.data(), response.body.size());
+}
+
+}  // namespace obs
+}  // namespace pbfs

@@ -1,0 +1,86 @@
+// Minimal dependency-free blocking HTTP/1.1 server for the telemetry
+// endpoints (/metrics, /healthz, /debug/trace).
+//
+// Scope is deliberately tiny: one accept thread, one connection at a
+// time, GET only, exact-path routing, Connection: close on every
+// response. That is exactly what a Prometheus scraper or a curl from an
+// operator needs, and it keeps the server out of the failure domain of
+// the engine it observes — a wedged scrape can delay the next scrape,
+// never a query. Handlers run on the accept thread; they must not
+// block indefinitely (the registry exposition and a tracer snapshot
+// are both bounded).
+//
+// Binds 127.0.0.1 by default (telemetry is an operator surface, not a
+// public one); set Options::loopback_only=false to accept from
+// anywhere. Port 0 asks the kernel for an ephemeral port — tests and
+// parallel CI jobs use this; port() reports what was bound.
+#ifndef PBFS_OBS_LIVE_HTTP_SERVER_H_
+#define PBFS_OBS_LIVE_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace pbfs {
+namespace obs {
+
+class MetricsHttpServer {
+ public:
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  // Invoked with the request path (query string stripped).
+  using Handler = std::function<Response()>;
+
+  struct Options {
+    int port = 0;  // 0 = ephemeral
+    bool loopback_only = true;
+  };
+
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer() { Stop(); }
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  // Exact-match route. Register every route before Start(); the accept
+  // thread reads the table unlocked.
+  void AddRoute(const std::string& path, Handler handler);
+
+  // Binds and starts the accept thread. Returns false (with the reason
+  // on stderr) when the socket cannot be bound.
+  bool Start(const Options& options);
+  bool Start(int port) { return Start(Options{port, true}); }
+
+  // Stops accepting, closes the listen socket, joins the thread.
+  // Idempotent; also called by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // Actual bound port (resolves port 0), or -1 when not running.
+  int port() const { return port_; }
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  std::map<std::string, Handler> routes_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace pbfs
+
+#endif  // PBFS_OBS_LIVE_HTTP_SERVER_H_

@@ -1,0 +1,159 @@
+// Rolling-window quantile estimator for live telemetry.
+//
+// The engine's cumulative latency histogram (QueryEngineStats) answers
+// "what has p99 been since startup", which after an hour of traffic is
+// dominated by history and cannot show a regression happening *now*.
+// RollingWindow answers "what is p99 over the last W seconds": samples
+// land in a ring of S subwindow histograms keyed by epoch
+// (now / (W/S)); a read merges the subwindows still inside the window
+// with Histogram::Merge, so the estimator inherits the log-bucket
+// quantile error bound of util/stats.h and expiry is O(1) per sample —
+// a slot is reset lazily the first time its epoch is reused.
+//
+// Time is always passed in by the caller (monotonic nanoseconds, i.e.
+// NowNanos()), never read from a clock here, so tests can advance time
+// deterministically and a scrape thread and the recording thread agree
+// on the window boundary.
+//
+// Thread-safe: one internal mutex covers Add and the snapshot reads.
+// Contention is bounded by design — the writers are the engine
+// dispatcher (one sample per completed query) and the readers are
+// metric scrapes (a few per minute), nothing on the BFS hot path.
+#ifndef PBFS_OBS_LIVE_ROLLING_WINDOW_H_
+#define PBFS_OBS_LIVE_ROLLING_WINDOW_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace pbfs {
+namespace obs {
+
+class RollingWindow {
+ public:
+  struct Options {
+    // Total window covered by a read, and how many subwindows it is
+    // split into. More subwindows = smoother expiry (an expiring slot
+    // carries window/S worth of samples), at S histograms of memory.
+    int64_t window_ns = int64_t{30} * 1000 * 1000 * 1000;
+    int num_subwindows = 10;
+    // Bucket shape of every subwindow histogram (see util/stats.h).
+    // Growth 1.6 keeps the relative quantile error under 60% worst
+    // case, typically far less with in-bucket interpolation.
+    double hist_min_bound = 1e-3;
+    double hist_growth = 1.6;
+    int hist_log_buckets = 48;
+  };
+
+  // Defined below the class: a default argument would need the nested
+  // Options' member initializers before the enclosing class is
+  // complete.
+  explicit RollingWindow(const Options& options);
+  RollingWindow();
+
+  // Records one sample at time `now_ns`.
+  void Add(double value, int64_t now_ns) {
+    const int64_t epoch = EpochOf(now_ns);
+    std::lock_guard<std::mutex> lock(mutex_);
+    Slot& slot = slots_[SlotOf(epoch)];
+    if (slot.epoch != epoch) {
+      slot.hist = MakeHistogram();
+      slot.epoch = epoch;
+    }
+    slot.hist.Add(value);
+  }
+
+  // Merge of every subwindow still inside the window ending at
+  // `now_ns`. The heavyweight read: one histogram copy + up to S-1
+  // merges. Use Stats() when only the summary numbers are needed.
+  Histogram Merged(int64_t now_ns) const {
+    const int64_t epoch = EpochOf(now_ns);
+    Histogram merged = MakeHistogram();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Slot& slot : slots_) {
+      if (slot.epoch < 0) continue;
+      // Live: within the last S epochs ending at the current one. A
+      // slot from the future (caller's clocks raced backwards) is
+      // treated as live rather than resurrecting the modular ring.
+      if (slot.epoch > epoch - options_.num_subwindows) {
+        merged.Merge(slot.hist);
+      }
+    }
+    return merged;
+  }
+
+  // One-merge snapshot of the windowed summary statistics.
+  struct Stats {
+    uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+  };
+
+  Stats WindowStats(int64_t now_ns) const {
+    const Histogram merged = Merged(now_ns);
+    Stats stats;
+    stats.count = merged.count();
+    if (stats.count == 0) return stats;
+    stats.sum = merged.sum();
+    stats.min = merged.min();
+    stats.max = merged.max();
+    stats.p50 = merged.Quantile(0.50);
+    stats.p95 = merged.Quantile(0.95);
+    stats.p99 = merged.Quantile(0.99);
+    return stats;
+  }
+
+  uint64_t Count(int64_t now_ns) const { return Merged(now_ns).count(); }
+  double Quantile(double q, int64_t now_ns) const {
+    return Merged(now_ns).Quantile(q);
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Slot {
+    int64_t epoch = -1;  // -1 = never written
+    Histogram hist;
+  };
+
+  Histogram MakeHistogram() const {
+    return Histogram(options_.hist_min_bound, options_.hist_growth,
+                     options_.hist_log_buckets);
+  }
+
+  int64_t EpochOf(int64_t now_ns) const { return now_ns / subwindow_ns_; }
+  size_t SlotOf(int64_t epoch) const {
+    return static_cast<size_t>(epoch % options_.num_subwindows);
+  }
+
+  const Options options_;
+  const int64_t subwindow_ns_;
+  mutable std::mutex mutex_;
+  std::vector<Slot> slots_;
+};
+
+inline RollingWindow::RollingWindow(const Options& options)
+    : options_(options),
+      subwindow_ns_(options.window_ns / options.num_subwindows) {
+  PBFS_CHECK(options.window_ns > 0);
+  PBFS_CHECK(options.num_subwindows > 0);
+  PBFS_CHECK(subwindow_ns_ > 0);
+  slots_.reserve(static_cast<size_t>(options.num_subwindows));
+  for (int i = 0; i < options.num_subwindows; ++i) {
+    slots_.push_back(Slot{-1, MakeHistogram()});
+  }
+}
+
+inline RollingWindow::RollingWindow() : RollingWindow(Options()) {}
+
+}  // namespace obs
+}  // namespace pbfs
+
+#endif  // PBFS_OBS_LIVE_ROLLING_WINDOW_H_

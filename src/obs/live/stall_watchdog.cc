@@ -1,0 +1,216 @@
+#include "obs/live/stall_watchdog.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "obs/chrome_trace.h"
+#include "obs/trace.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace pbfs {
+namespace obs {
+
+StallWatchdog::StallWatchdog(const Options& options) : options_(options) {
+  PBFS_CHECK(options_.poll_interval_ms > 0);
+  clock_ = options_.now_ns ? options_.now_ns : [] { return NowNanos(); };
+  if (options_.registry != nullptr) {
+    stall_counter_ = options_.registry->AddCounter(
+        "pbfs_watchdog_stall_reports_total",
+        "Worker-stall anomaly reports emitted by the watchdog.");
+    slow_query_counter_ = options_.registry->AddCounter(
+        "pbfs_watchdog_slow_query_reports_total",
+        "Slow-query anomaly reports emitted by the watchdog.");
+    dump_counter_ = options_.registry->AddCounter(
+        "pbfs_watchdog_flightrec_dumps_total",
+        "Flight-recorder trace dumps written on anomaly.");
+  }
+}
+
+StallWatchdog::~StallWatchdog() { Stop(); }
+
+void StallWatchdog::WatchWorkers(WorkerSource source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  worker_sources_.push_back(std::move(source));
+}
+
+void StallWatchdog::WatchAdmissions(AdmissionSource source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  admission_sources_.push_back(std::move(source));
+}
+
+void StallWatchdog::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { PollThread(); });
+}
+
+void StallWatchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  started_ = false;
+}
+
+void StallWatchdog::PollThread() {
+  const auto interval = std::chrono::duration<double, std::milli>(
+      options_.poll_interval_ms);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    if (stop_cv_.wait_for(lock, interval, [this] { return stopping_; })) {
+      return;
+    }
+    lock.unlock();
+    PollOnce();
+    lock.lock();
+  }
+}
+
+void StallWatchdog::PollOnce() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int64_t now = clock_();
+  ++stats_.polls;
+  const int64_t stall_ns =
+      static_cast<int64_t>(options_.worker_stall_ms * 1e6);
+  const int64_t slow_ns = static_cast<int64_t>(options_.slow_query_ms * 1e6);
+
+  // --- Worker heartbeats ---
+  for (auto& [key, state] : worker_states_) state.seen = false;
+  std::vector<std::string> stalled;
+  for (size_t s = 0; s < worker_sources_.size(); ++s) {
+    for (const WorkerSample& sample : worker_sources_[s]()) {
+      WorkerState& state = worker_states_[{s, sample.worker_id}];
+      state.seen = true;
+      if (!sample.busy || sample.epoch != state.last_epoch) {
+        // Progress (or idle): re-arm the episode.
+        state.last_epoch = sample.epoch;
+        state.frozen_since_ns = now;
+        state.reported = false;
+        continue;
+      }
+      if (state.frozen_since_ns == 0) state.frozen_since_ns = now;
+      const int64_t frozen_for = now - state.frozen_since_ns;
+      if (frozen_for >= stall_ns && !state.reported) {
+        state.reported = true;
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "worker %d stalled: busy with no heartbeat for "
+                      "%.0f ms (epoch %llu)",
+                      sample.worker_id,
+                      static_cast<double>(frozen_for) / 1e6,
+                      static_cast<unsigned long long>(sample.epoch));
+        stalled.push_back(line);
+      }
+    }
+  }
+  // A worker a source stopped reporting is not stalled, just gone.
+  for (auto it = worker_states_.begin(); it != worker_states_.end();) {
+    it = it->second.seen ? std::next(it) : worker_states_.erase(it);
+  }
+  if (!stalled.empty()) {
+    std::string line = stalled[0];
+    if (stalled.size() > 1) {
+      line += " (+" + std::to_string(stalled.size() - 1) + " more workers)";
+    }
+    Report(/*category=*/0, line, now);
+  }
+
+  // --- Query admissions ---
+  std::unordered_set<uint64_t> in_flight;
+  uint64_t newly_slow = 0;
+  AdmissionSample oldest{};
+  int64_t oldest_age = -1;
+  for (AdmissionSource& source : admission_sources_) {
+    for (const AdmissionSample& sample : source()) {
+      in_flight.insert(sample.id);
+      const int64_t age = now - sample.submit_ns;
+      if (age < slow_ns) continue;
+      if (reported_query_ids_.count(sample.id) != 0) continue;
+      reported_query_ids_.insert(sample.id);
+      ++newly_slow;
+      if (age > oldest_age) {
+        oldest_age = age;
+        oldest = sample;
+      }
+    }
+  }
+  // Completed queries can never re-report; drop their debounce entries.
+  for (auto it = reported_query_ids_.begin();
+       it != reported_query_ids_.end();) {
+    it = in_flight.count(*it) != 0 ? std::next(it)
+                                   : reported_query_ids_.erase(it);
+  }
+  if (newly_slow > 0) {
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "%llu slow quer%s: oldest id=%llu type=%s in flight "
+                  "%.0f ms",
+                  static_cast<unsigned long long>(newly_slow),
+                  newly_slow == 1 ? "y" : "ies",
+                  static_cast<unsigned long long>(oldest.id), oldest.type,
+                  static_cast<double>(oldest_age) / 1e6);
+    Report(/*category=*/1, line, now);
+  }
+}
+
+void StallWatchdog::Report(int category, const std::string& line,
+                           int64_t now) {
+  const int64_t cooldown_ns =
+      static_cast<int64_t>(options_.report_cooldown_ms * 1e6);
+  if (last_report_ns_[category] != 0 &&
+      now - last_report_ns_[category] < cooldown_ns) {
+    ++stats_.reports_suppressed;
+    return;
+  }
+  last_report_ns_[category] = now;
+  stats_.last_report = line;
+  if (category == 0) {
+    ++stats_.stall_reports;
+    if (stall_counter_ != nullptr) stall_counter_->Increment();
+    std::fprintf(stderr, "[watchdog] stall: %s\n", line.c_str());
+  } else {
+    ++stats_.slow_query_reports;
+    if (slow_query_counter_ != nullptr) slow_query_counter_->Increment();
+    std::fprintf(stderr, "[watchdog] slow-query: %s\n", line.c_str());
+  }
+  DumpFlightRecorder(now);
+}
+
+void StallWatchdog::DumpFlightRecorder(int64_t now) {
+  if (options_.dump_dir.empty()) return;
+  if (!Tracer::Get().enabled()) {
+    std::fprintf(stderr,
+                 "[watchdog] no trace session active; flight-recorder "
+                 "dump skipped\n");
+    return;
+  }
+  const TraceDump dump = Tracer::Get().Snapshot();
+  const std::string path = options_.dump_dir + "/flightrec_" +
+                           std::to_string(now) + ".trace.json";
+  if (WriteChromeTraceFile(dump, path)) {
+    ++stats_.dumps_written;
+    stats_.last_dump_path = path;
+    if (dump_counter_ != nullptr) dump_counter_->Increment();
+    std::fprintf(stderr,
+                 "[watchdog] flight recorder: %llu events from %zu threads "
+                 "-> %s\n",
+                 static_cast<unsigned long long>(dump.total_events()),
+                 dump.threads.size(), path.c_str());
+  }
+}
+
+StallWatchdog::Stats StallWatchdog::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace obs
+}  // namespace pbfs

@@ -5,6 +5,15 @@
 //   --metrics-out=PATH  write an aggregated MetricsSnapshot JSON file
 //   --profile           record hardware counters + a NUMA placement
 //                       audit and fold them into BENCH_<name>.json
+//   --serve-metrics=PORT  serve live telemetry over HTTP: /metrics
+//                       (Prometheus exposition), /healthz, /debug/trace
+//                       (flight-recorder snapshot as Chrome trace JSON).
+//                       0 binds an ephemeral port (printed on stderr);
+//                       the stall watchdog starts alongside the server.
+//   --watchdog          run the stall watchdog without the HTTP server
+//   --watchdog-stall-ms / --watchdog-slow-query-ms / --watchdog-dump-dir
+//                       watchdog thresholds and flight-recorder dump
+//                       location (empty dir disables dumping)
 //
 // One ObsCli instance owns the bench's BenchJson document: the bench
 // fills in its own timing fields via json(), and in profile mode
@@ -24,18 +33,25 @@
 
 #ifdef PBFS_TRACING
 #include <map>
+#include <memory>
 #include <vector>
 
+#include "engine/query_engine.h"
 #include "obs/chrome_trace.h"
+#include "obs/live/http_server.h"
+#include "obs/live/metrics_registry.h"
+#include "obs/live/stall_watchdog.h"
 #include "obs/metrics.h"
 #include "obs/numa_audit.h"
 #include "obs/perf_counters.h"
 #include "obs/trace.h"
+#include "sched/worker_pool.h"
 #endif
 
 namespace pbfs {
 
 class Graph;
+class QueryEngine;
 class WorkerPool;
 
 namespace obs {
@@ -53,11 +69,28 @@ class ObsCli {
     flags->AddBool("profile", &profile_,
                    "record hardware counters and a NUMA placement audit; "
                    "writes BENCH_<name>.json");
+    flags->AddInt64("serve-metrics", &serve_metrics_port_,
+                    "serve /metrics, /healthz, /debug/trace on this port "
+                    "(0 = ephemeral, -1 = off)");
+    flags->AddBool("watchdog", &watchdog_flag_,
+                   "run the stall watchdog (implied by --serve-metrics)");
+    flags->AddDouble("watchdog-stall-ms", &watchdog_stall_ms_,
+                     "busy worker with a frozen heartbeat for this long "
+                     "is reported as stalled");
+    flags->AddDouble("watchdog-slow-query-ms", &watchdog_slow_query_ms_,
+                     "in-flight query older than this is reported as slow");
+    flags->AddString("watchdog-dump-dir", &watchdog_dump_dir_,
+                     "directory for flight-recorder dumps on anomaly "
+                     "(empty = no dumps)");
   }
 
   bool profiling() const { return profile_; }
+  bool serving_live() const {
+    return serve_metrics_port_ >= 0 || watchdog_flag_;
+  }
   bool active() const {
-    return profile_ || !trace_path_.empty() || !metrics_path_.empty();
+    return profile_ || !trace_path_.empty() || !metrics_path_.empty() ||
+           serving_live();
   }
 
   // The bench's JSON document (timings etc.); written by Finish() in
@@ -82,6 +115,41 @@ class ObsCli {
     }
     Tracer::Get().Start({});
     started_ = true;
+    if (serving_live()) {
+      StallWatchdog::Options wd;
+      wd.worker_stall_ms = watchdog_stall_ms_;
+      wd.slow_query_ms = watchdog_slow_query_ms_;
+      wd.dump_dir = watchdog_dump_dir_;
+      wd.registry = &registry_;
+      watchdog_ = std::make_unique<StallWatchdog>(wd);
+      watchdog_->Start();
+    }
+    if (serve_metrics_port_ >= 0) {
+      server_.AddRoute("/metrics", [this] {
+        MetricsHttpServer::Response response;
+        response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        response.body = registry_.ExpositionText();
+        return response;
+      });
+      server_.AddRoute("/healthz", [] {
+        MetricsHttpServer::Response response;
+        response.body = "ok\n";
+        return response;
+      });
+      server_.AddRoute("/debug/trace", [] {
+        // Flight recorder on demand: snapshot the live rings without
+        // stopping the session.
+        MetricsHttpServer::Response response;
+        response.content_type = "application/json";
+        response.body = ChromeTraceJson(Tracer::Get().Snapshot());
+        return response;
+      });
+      if (server_.Start(static_cast<int>(serve_metrics_port_))) {
+        std::fprintf(stderr, "telemetry: serving http://127.0.0.1:%d"
+                     "/metrics /healthz /debug/trace\n",
+                     server_.port());
+      }
+    }
 #else
     if (!trace_path_.empty()) {
       std::fprintf(stderr,
@@ -97,8 +165,112 @@ class ObsCli {
       std::fprintf(stderr,
                    "--profile ignored: built with PBFS_TRACING=OFF\n");
     }
+    if (serve_metrics_port_ >= 0) {
+      std::fprintf(stderr,
+                   "--serve-metrics=%lld ignored: built with "
+                   "PBFS_TRACING=OFF\n",
+                   static_cast<long long>(serve_metrics_port_));
+    }
+    if (watchdog_flag_) {
+      std::fprintf(stderr,
+                   "--watchdog ignored: built with PBFS_TRACING=OFF\n");
+    }
 #endif
   }
+
+  // ---- Live telemetry wiring (no-ops when PBFS_TRACING is OFF or the
+  // live surfaces were not requested) ----
+
+  // Feeds `pool`'s worker heartbeats to the stall watchdog and exposes
+  // per-worker heartbeat gauges plus the scheduler's task counters.
+  // `pool` must outlive telemetry (ObsCli::Finish stops both consumers).
+  void WatchPool(WorkerPool* pool) {
+#ifdef PBFS_TRACING
+    if (!serving_live() || pool == nullptr) return;
+    if (watchdog_ != nullptr) {
+      watchdog_->WatchWorkers([pool] {
+        std::vector<StallWatchdog::WorkerSample> samples;
+        for (const WorkerPool::WorkerHeartbeat& hb :
+             pool->HeartbeatSamples()) {
+          samples.push_back(
+              StallWatchdog::WorkerSample{hb.worker_id, hb.epoch, hb.busy});
+        }
+        return samples;
+      });
+    }
+    registry_.AddCollector(pool, [pool](ExpositionWriter& writer) {
+      const WorkerPool::SchedulerStats sched = pool->scheduler_stats();
+      writer.BeginFamily("pbfs_sched_local_tasks_total",
+                         "Tasks fetched from the owning worker's queue.",
+                         "counter");
+      writer.Sample("pbfs_sched_local_tasks_total", {},
+                    static_cast<double>(sched.local_tasks));
+      writer.BeginFamily("pbfs_sched_stolen_tasks_total",
+                         "Tasks stolen from another worker's queue.",
+                         "counter");
+      writer.Sample("pbfs_sched_stolen_tasks_total", {},
+                    static_cast<double>(sched.stolen_tasks));
+      // One snapshot, rendered family by family: the format requires
+      // all samples of a family contiguous under its TYPE line.
+      const std::vector<WorkerPool::WorkerHeartbeat> heartbeats =
+          pool->HeartbeatSamples();
+      writer.BeginFamily("pbfs_worker_heartbeat_epoch",
+                         "Per-worker heartbeat epoch (bumps once per "
+                         "fetched task).",
+                         "gauge");
+      for (const WorkerPool::WorkerHeartbeat& hb : heartbeats) {
+        writer.Sample("pbfs_worker_heartbeat_epoch",
+                      {{"worker", std::to_string(hb.worker_id)}},
+                      static_cast<double>(hb.epoch));
+      }
+      writer.BeginFamily("pbfs_worker_busy",
+                         "1 while the worker is inside a dispatched job.",
+                         "gauge");
+      for (const WorkerPool::WorkerHeartbeat& hb : heartbeats) {
+        writer.Sample("pbfs_worker_busy",
+                      {{"worker", std::to_string(hb.worker_id)}},
+                      hb.busy ? 1 : 0);
+      }
+    });
+#else
+    (void)pool;
+#endif
+  }
+
+  // Exports `engine`'s windowed latency/occupancy metrics on the
+  // registry and feeds its in-flight queries to the watchdog. The
+  // engine withdraws its collector in its own destructor, so engine
+  // lifetime shorter than the CLI's is safe; the watchdog must stop
+  // before the engine dies (Finish() does).
+  void WatchEngine(QueryEngine* engine) {
+#ifdef PBFS_TRACING
+    if (!serving_live() || engine == nullptr) return;
+    engine->ExportLiveMetrics(&registry_);
+    if (watchdog_ != nullptr) {
+      watchdog_->WatchAdmissions([engine] {
+        std::vector<StallWatchdog::AdmissionSample> samples;
+        for (const QueryEngine::InFlightQuery& q :
+             engine->InFlightQueries()) {
+          samples.push_back(StallWatchdog::AdmissionSample{
+              q.id, q.submit_ns, QueryTypeName(q.type)});
+        }
+        return samples;
+      });
+    }
+#else
+    (void)engine;
+#endif
+  }
+
+#ifdef PBFS_TRACING
+  // The live registry, for binaries registering their own metrics.
+  MetricsRegistry* registry() { return &registry_; }
+  // Bound /metrics port, or -1 when the server is not running.
+  int metrics_port() const { return server_.running() ? server_.port() : -1; }
+  StallWatchdog* watchdog() { return watchdog_.get(); }
+#else
+  int metrics_port() const { return -1; }
+#endif
 
   // Audits the placement of `graph` plus a first-touch state probe run
   // on `pool` against the task-range ownership model (profile mode
@@ -123,6 +295,14 @@ class ObsCli {
   // writes the enriched BENCH_<name>.json.
   void Finish() {
 #ifdef PBFS_TRACING
+    // Live consumers go first: the watchdog and the scrape server read
+    // the pool/engine through their sources, and callers destroy those
+    // right after Finish() returns.
+    if (watchdog_ != nullptr) {
+      watchdog_->Stop();
+      watchdog_.reset();
+    }
+    server_.Stop();
     if (started_) {
       const TraceDump dump = Tracer::Get().Stop();
       started_ = false;
@@ -230,6 +410,17 @@ class ObsCli {
   bool always_write_json_ = false;
   bool started_ = false;
   bool backend_available_ = false;
+
+  int64_t serve_metrics_port_ = -1;
+  bool watchdog_flag_ = false;
+  double watchdog_stall_ms_ = 1000;
+  double watchdog_slow_query_ms_ = 1000;
+  std::string watchdog_dump_dir_ = ".";
+#ifdef PBFS_TRACING
+  MetricsRegistry registry_;
+  MetricsHttpServer server_;
+  std::unique_ptr<StallWatchdog> watchdog_;
+#endif
 };
 
 }  // namespace obs

@@ -50,6 +50,26 @@ TraceDump Tracer::Stop() {
   TraceDump dump;
   dump.session_start_ns = session_start_ns_;
   dump.session_end_ns = NowNanos();
+  CollectLocked(&dump);
+  session_buffers_.clear();
+  return dump;
+}
+
+TraceDump Tracer::Snapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceDump dump;
+  if (!enabled()) return dump;  // no session: nothing to flight-record
+  dump.session_start_ns = session_start_ns_;
+  dump.session_end_ns = NowNanos();
+  // The session stays live: owners keep appending past the heads read
+  // here. Events recorded after the acquire load simply miss the
+  // snapshot; the copied prefix is immutable (drop-newest, no resize
+  // while registered).
+  CollectLocked(&dump);
+  return dump;
+}
+
+void Tracer::CollectLocked(TraceDump* dump) const {
   for (ThreadTrace* buffer : session_buffers_) {
     TraceThreadDump thread;
     thread.label = buffer->label_;
@@ -63,10 +83,8 @@ TraceDump Tracer::Stop() {
     thread.events.assign(buffer->events_.begin(),
                          buffer->events_.begin() + count);
     thread.dropped = buffer->dropped_.load(std::memory_order_relaxed);
-    dump.threads.push_back(std::move(thread));
+    dump->threads.push_back(std::move(thread));
   }
-  session_buffers_.clear();
-  return dump;
 }
 
 ThreadTrace* Tracer::CurrentThreadBuffer() {

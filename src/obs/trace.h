@@ -122,7 +122,7 @@ struct TraceThreadDump {
   std::vector<TraceEvent> events;
 };
 
-// Everything collected by Tracer::Stop().
+// Everything collected by Tracer::Stop() or Tracer::Snapshot().
 struct TraceDump {
   int64_t session_start_ns = 0;
   int64_t session_end_ns = 0;
@@ -162,6 +162,14 @@ class Tracer {
   // the stop lose at most their in-flight event.
   TraceDump Stop();
 
+  // Flight-recorder read: copies the published prefix of every ring in
+  // the live session WITHOUT stopping it — recording threads keep
+  // appending past the snapshotted heads (drop-newest makes the prefix
+  // immutable, so this is race-free by the same argument as Stop).
+  // Returns an empty dump when no session is active. Takes the
+  // registration mutex; not for hot paths.
+  TraceDump Snapshot();
+
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   // Hot path. One relaxed load when disabled; TLS lookup + ring append
@@ -188,6 +196,9 @@ class Tracer {
 
   ThreadTrace* CurrentThreadBuffer();
   ThreadTrace* RegisterCurrentThread(uint64_t generation);
+  // Copies the published prefix of every session buffer into `dump`.
+  // Caller holds mutex_ and has filled the session timestamps.
+  void CollectLocked(TraceDump* dump) const;
 
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> generation_{0};

@@ -44,6 +44,9 @@ WorkerPool::WorkerPool(const Options& options)
     cpus = topo->AssignWorkersToCpus(num_workers_);
   }
 
+#ifdef PBFS_TRACING
+  heartbeats_ = std::make_unique<Heartbeat[]>(num_workers_);
+#endif
   threads_.reserve(num_workers_);
   for (int w = 0; w < num_workers_; ++w) {
     int cpu = options.pin_threads ? cpus[w] : -1;
@@ -77,7 +80,18 @@ void WorkerPool::WorkerMain(int worker_id, int cpu) {
       seen_epoch = epoch_;
       job = job_;
     }
+#ifdef PBFS_TRACING
+    // Job-start bump + busy flag: the watchdog's stall episode re-arms
+    // between jobs, and an idle (not busy) frozen epoch is never a
+    // stall.
+    Heartbeat& heartbeat = heartbeats_[worker_id];
+    heartbeat.epoch.fetch_add(1, std::memory_order_relaxed);
+    heartbeat.busy.store(true, std::memory_order_relaxed);
+#endif
     (*job)(worker_id);
+#ifdef PBFS_TRACING
+    heartbeat.busy.store(false, std::memory_order_relaxed);
+#endif
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--active_ == 0) done_cv_.notify_one();
@@ -131,6 +145,10 @@ void WorkerPool::ParallelFor(uint64_t total, uint32_t split_size,
     for (;;) {
       TaskRange range = queues_.Fetch(worker_id, &steal_cursor);
       if (range.empty()) break;
+#ifdef PBFS_TRACING
+      // Heartbeat: one relaxed add on a worker-private line per task.
+      heartbeats_[worker_id].epoch.fetch_add(1, std::memory_order_relaxed);
+#endif
       // steal_cursor stays 0 while fetching from the worker's own queue.
       if (steal_cursor == 0) {
         ++local;
@@ -227,5 +245,19 @@ void WorkerPool::FirstTouchFor(uint64_t total, uint32_t split_size,
 void WorkerPool::RunOnWorkers(const std::function<void(int)>& fn) {
   Dispatch(fn);
 }
+
+#ifdef PBFS_TRACING
+std::vector<WorkerPool::WorkerHeartbeat> WorkerPool::HeartbeatSamples()
+    const {
+  std::vector<WorkerHeartbeat> samples;
+  samples.reserve(static_cast<size_t>(num_workers_));
+  for (int w = 0; w < num_workers_; ++w) {
+    samples.push_back(WorkerHeartbeat{
+        w, heartbeats_[w].epoch.load(std::memory_order_relaxed),
+        heartbeats_[w].busy.load(std::memory_order_relaxed)});
+  }
+  return samples;
+}
+#endif
 
 }  // namespace pbfs

@@ -17,6 +17,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "sched/executor.h"
 #include "sched/steal_policy.h"
 #include "sched/task_queues.h"
+#include "util/aligned_buffer.h"
 
 namespace pbfs {
 
@@ -109,6 +111,20 @@ class WorkerPool : public Executor {
     stolen_tasks_.store(0, std::memory_order_relaxed);
   }
 
+#ifdef PBFS_TRACING
+  // Liveness signal for the stall watchdog (tracing builds only). Each
+  // worker owns a cache-line-private epoch bumped on every task fetch
+  // in the work-stealing loop and once at each job start, plus a busy
+  // flag spanning the job. A busy worker whose epoch is frozen is stuck
+  // inside one task body.
+  struct WorkerHeartbeat {
+    int worker_id = -1;
+    uint64_t epoch = 0;
+    bool busy = false;
+  };
+  std::vector<WorkerHeartbeat> HeartbeatSamples() const;
+#endif
+
  private:
   void WorkerMain(int worker_id, int cpu);
   void Dispatch(const std::function<void(int)>& job);
@@ -129,6 +145,16 @@ class WorkerPool : public Executor {
 
   std::atomic<uint64_t> local_tasks_{0};
   std::atomic<uint64_t> stolen_tasks_{0};
+
+#ifdef PBFS_TRACING
+  // One cache line per worker: the owning worker writes relaxed, the
+  // watchdog poll thread reads relaxed; no line is shared.
+  struct alignas(kCacheLineSize) Heartbeat {
+    std::atomic<uint64_t> epoch{0};
+    std::atomic<bool> busy{false};
+  };
+  std::unique_ptr<Heartbeat[]> heartbeats_;
+#endif
 };
 
 // Executor adapter that runs loops on a pool with static partitioning
