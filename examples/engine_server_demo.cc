@@ -20,14 +20,24 @@
 // (Query::debug_delay_ms) after startup so the watchdog's slow-query
 // report and flight-recorder dump can be exercised end-to-end.
 //
+// --churn-edges-per-sec=N runs an updater thread alongside the clients,
+// publishing batched edge inserts/deletes through ApplyUpdates() at
+// roughly that rate — the dynamic-graph smoke workload: queries resolve
+// against admission-time snapshots while the background compactor folds
+// the churn back into flat CSRs (see docs/dynamic.md).
+//
 //   ./engine_server_demo [--vertices_log2 16] [--clients 8]
 //                        [--queries_per_client 64] [--threads N]
 //                        [--run-seconds 0] [--serve-metrics PORT]
 //                        [--inject-slow-query-ms 0]
+//                        [--churn-edges-per-sec 0]
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <deque>
 #include <thread>
 #include <vector>
 
@@ -84,6 +94,7 @@ int main(int argc, char** argv) {
   int64_t threads = 4;
   double run_seconds = 0;
   double inject_slow_query_ms = 0;
+  int64_t churn_edges_per_sec = 0;
   pbfs::FlagParser flags(
       "Concurrent BFS query engine demo: multi-threaded clients, "
       "coalesced MS-PBFS batches, optional live telemetry server");
@@ -98,6 +109,9 @@ int main(int argc, char** argv) {
   flags.AddDouble("inject-slow-query-ms", &inject_slow_query_ms,
                   "submit one artificially slow query to trip the "
                   "watchdog (0 = none)");
+  flags.AddInt64("churn-edges-per-sec", &churn_edges_per_sec,
+                 "publish ~this many edge updates per second through "
+                 "ApplyUpdates while the workload runs (0 = static)");
   pbfs::obs::ObsCli obs_cli("engine_server_demo");
   obs_cli.Register(&flags);
   flags.Parse(argc, argv);
@@ -148,6 +162,43 @@ int main(int argc, char** argv) {
     });
   }
 
+  // Edge churn: one updater thread publishes small batches at a steady
+  // rate. Inserted edges are remembered so about half of later updates
+  // delete a genuinely present edge — real churn, not no-ops. The
+  // background compactor folds the overlay away continuously; queries
+  // keep answering from their admission-time snapshots throughout.
+  std::atomic<bool> churn_stop{false};
+  std::thread churn_thread;
+  if (churn_edges_per_sec > 0) {
+    churn_thread = std::thread([&] {
+      pbfs::Rng rng(99);
+      const pbfs::Vertex n = graph.num_vertices();
+      const int64_t batch_size = std::max<int64_t>(1, churn_edges_per_sec / 20);
+      std::deque<pbfs::EdgeUpdate> inserted;
+      while (!churn_stop.load(std::memory_order_relaxed)) {
+        std::vector<pbfs::EdgeUpdate> batch;
+        batch.reserve(static_cast<size_t>(batch_size));
+        for (int64_t i = 0; i < batch_size; ++i) {
+          if (!inserted.empty() && rng.NextBounded(2) == 0) {
+            pbfs::EdgeUpdate del = inserted.front();
+            inserted.pop_front();
+            del.insert = false;
+            batch.push_back(del);
+          } else {
+            pbfs::Vertex u = static_cast<pbfs::Vertex>(rng.NextBounded(n));
+            pbfs::Vertex v = static_cast<pbfs::Vertex>(rng.NextBounded(n));
+            if (u == v) v = (v + 1) % n;
+            pbfs::EdgeUpdate ins{u, v, /*insert=*/true};
+            inserted.push_back(ins);
+            batch.push_back(ins);
+          }
+        }
+        engine.ApplyUpdates(batch);
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    });
+  }
+
   if (inject_slow_query_ms > 0) {
     // Let the workload warm up, then wedge the dispatcher once. The
     // watchdog (--watchdog / --serve-metrics) should emit exactly one
@@ -165,8 +216,14 @@ int main(int argc, char** argv) {
 
   for (std::thread& t : client_threads) t.join();
   const double elapsed_s = timer.ElapsedSeconds();
-  // Graceful shutdown, signal or not: no new queries are being
-  // admitted (clients joined), so drain what is in flight...
+  // Graceful shutdown, signal or not: stop the churn, let the
+  // compactor fold the last deltas in, and drain what is in flight —
+  // no new queries are being admitted (clients joined).
+  if (churn_thread.joinable()) {
+    churn_stop.store(true, std::memory_order_relaxed);
+    churn_thread.join();
+    engine.WaitCompactorIdle();
+  }
   engine.Drain();
 
   const uint64_t total = submitted.load();
@@ -178,6 +235,22 @@ int main(int argc, char** argv) {
               static_cast<double>(total) / elapsed_s,
               g_stop.load() ? " [stopped by signal]" : "");
   std::printf("engine stats: %s\n", engine.Stats().ToString().c_str());
+  if (churn_edges_per_sec > 0) {
+    const pbfs::QueryEngineStats stats = engine.Stats();
+    const pbfs::SnapshotStats snap = engine.SnapshotInfo();
+    const pbfs::Compactor::Stats compact = engine.CompactorStats();
+    std::printf("churn: %llu batches, %llu edge updates, snapshot v%llu "
+                "(content v%llu), %llu compactions\n",
+                static_cast<unsigned long long>(stats.update_batches),
+                static_cast<unsigned long long>(stats.edge_updates_applied),
+                static_cast<unsigned long long>(snap.version),
+                static_cast<unsigned long long>(snap.content_version),
+                static_cast<unsigned long long>(compact.compactions));
+    obs_cli.json().Add("update_batches", stats.update_batches);
+    obs_cli.json().Add("edge_updates_applied", stats.edge_updates_applied);
+    obs_cli.json().Add("snapshot_content_version", snap.content_version);
+    obs_cli.json().Add("compactions", compact.compactions);
+  }
   obs_cli.json().Add("clients", clients);
   obs_cli.json().Add("queries_submitted", total);
   obs_cli.json().Add("queries_ok", ok.load());

@@ -67,6 +67,11 @@ struct QueryResult {
   std::vector<uint64_t> khop_sizes;
   // kLevels only: vertices with a finite level (including the source).
   uint64_t vertices_reached = 0;
+  // Content version of the graph snapshot the query was answered from
+  // (the snapshot current at admission time; see graph/snapshot.h).
+  // 0 for queries that never reached a traversal (cancelled, expired,
+  // invalid, or rejected at shutdown).
+  uint64_t snapshot_version = 0;
 };
 
 }  // namespace pbfs

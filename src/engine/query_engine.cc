@@ -7,6 +7,7 @@
 
 #include "algorithms/khop.h"
 #include "bfs/multi_source.h"
+#include "sched/worker_pool.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -64,11 +65,12 @@ const char* QueryStatusName(QueryStatus status) {
 }
 
 std::string QueryEngineStats::ToString() const {
-  char buf[640];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "queries: %llu admitted, %llu ok, %llu cancelled, %llu expired, "
       "%llu invalid | dispatches: %llu batches, %llu single | "
+      "updates: %llu batches, %llu edges | "
       "occupancy: mean %.2f (min %.2f, max %.2f) | "
       "coalesce wait: mean %.3f ms (max %.3f ms) | "
       "latency: p50 %.3f ms, p99 %.3f ms, max %.3f ms",
@@ -78,21 +80,28 @@ std::string QueryEngineStats::ToString() const {
       static_cast<unsigned long long>(queries_expired),
       static_cast<unsigned long long>(queries_invalid),
       static_cast<unsigned long long>(batches_run),
-      static_cast<unsigned long long>(single_runs), batch_occupancy.mean(),
-      batch_occupancy.min(), batch_occupancy.max(), coalesce_wait_ms.mean(),
-      coalesce_wait_ms.max(), latency_ms.Quantile(0.5),
-      latency_ms.Quantile(0.99), latency_ms.max());
+      static_cast<unsigned long long>(single_runs),
+      static_cast<unsigned long long>(update_batches),
+      static_cast<unsigned long long>(edge_updates_applied),
+      batch_occupancy.mean(), batch_occupancy.min(), batch_occupancy.max(),
+      coalesce_wait_ms.mean(), coalesce_wait_ms.max(),
+      latency_ms.Quantile(0.5), latency_ms.Quantile(0.99), latency_ms.max());
   return buf;
 }
 
 QueryEngine::QueryEngine(const Graph& graph, Executor* executor,
                          QueryEngineOptions options)
-    : graph_(graph), executor_(executor), options_(std::move(options)) {
+    : executor_(executor),
+      options_(std::move(options)),
+      num_vertices_(graph.num_vertices()),
+      snapshots_(SnapshotManager::Borrow(graph)) {
   PBFS_CHECK(executor_ != nullptr);
   PBFS_CHECK(IsSupportedWidth(options_.max_batch_width));
   PBFS_CHECK(options_.coalesce_wait_ms >= 0);
-  single_runner_ =
-      FindVariantRunner(options_.single_variant, graph_, executor_);
+  runners_snapshot_ = snapshots_.Pin();
+  runners_version_ = runners_snapshot_->version();
+  single_runner_ = FindVariantRunner(options_.single_variant,
+                                     runners_snapshot_->graph(), executor_);
   PBFS_CHECK(single_runner_ != nullptr);  // unknown single_variant name
   // Resolve the batch variant eagerly at the smallest width so a typo'd
   // name fails at construction, not on the first wide burst.
@@ -112,6 +121,14 @@ QueryEngine::~QueryEngine() {
   }
   work_cv_.notify_all();
   dispatcher_.join();
+  // After the dispatcher no traversal can pin new snapshots; stop the
+  // compactor (joins its in-flight cycle) before the manager goes away.
+  {
+    std::lock_guard<std::mutex> lock(compactor_mu_);
+    compactor_.reset();
+    compactor_pool_.reset();
+    compactor_serial_.reset();
+  }
 }
 
 QueryEngine::Submission QueryEngine::Submit(Query query) {
@@ -140,8 +157,13 @@ QueryEngine::Submission QueryEngine::Submit(Query query) {
     return submission;
   }
   ++outstanding_;
-  pending_.push_back(PendingQuery{submission.id, std::move(query),
-                                  std::move(promise), NowNanos()});
+  PendingQuery pending{submission.id, std::move(query), std::move(promise),
+                       NowNanos(), SnapshotManager::Ref{}};
+  // Pinning under mutex_ (lock order: engine mutex_ -> snapshot mu_)
+  // makes snapshot versions monotone in queue order, so the dispatcher's
+  // same-version batching never splits more than one version boundary.
+  pending.snapshot = snapshots_.Pin();
+  pending_.push_back(std::move(pending));
   work_cv_.notify_one();
   return submission;
 }
@@ -165,6 +187,64 @@ void QueryEngine::Drain() {
 QueryEngineStats QueryEngine::Stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+SnapshotStats QueryEngine::SnapshotInfo() const {
+  return snapshots_.GetStats();
+}
+
+Compactor::Stats QueryEngine::CompactorStats() const {
+  std::lock_guard<std::mutex> lock(compactor_mu_);
+  if (compactor_ == nullptr) return Compactor::Stats{};
+  return compactor_->GetStats();
+}
+
+void QueryEngine::EnsureCompactorStarted() {
+  std::lock_guard<std::mutex> lock(compactor_mu_);
+  if (compactor_ != nullptr) return;
+  Executor* exec;
+  if (options_.compactor_workers > 1) {
+    compactor_pool_ = std::make_unique<WorkerPool>(WorkerPool::Options{
+        .num_workers = options_.compactor_workers, .pin_threads = false});
+    exec = compactor_pool_.get();
+  } else {
+    compactor_serial_ = std::make_unique<SerialExecutor>();
+    exec = compactor_serial_.get();
+  }
+  compactor_ = std::make_unique<Compactor>(
+      &snapshots_, exec,
+      CompactorOptions{.debug_delay_ms = options_.compactor_debug_delay_ms});
+}
+
+uint64_t QueryEngine::ApplyUpdates(std::span<const EdgeUpdate> updates) {
+#ifdef PBFS_TRACING
+  obs::ScopedSpan span("engine.apply_updates");
+  span.AddArg("ops", static_cast<uint64_t>(updates.size()));
+#endif
+  EnsureCompactorStarted();
+  const uint64_t version = snapshots_.ApplyBatch(updates);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.update_batches;
+    stats_.edge_updates_applied += updates.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(compactor_mu_);
+    compactor_->Notify();
+  }
+#ifdef PBFS_TRACING
+  span.AddArg("version", version);
+#endif
+  return version;
+}
+
+void QueryEngine::WaitCompactorIdle() {
+  Compactor* compactor;
+  {
+    std::lock_guard<std::mutex> lock(compactor_mu_);
+    compactor = compactor_.get();
+  }
+  if (compactor != nullptr) compactor->WaitIdle();
 }
 
 void QueryEngine::CompleteLocked(PendingQuery& pending, QueryStatus status) {
@@ -193,7 +273,7 @@ void QueryEngine::CompleteLocked(PendingQuery& pending, QueryStatus status) {
 }
 
 bool QueryEngine::IsValid(const Query& query) const {
-  const Vertex n = graph_.num_vertices();
+  const Vertex n = num_vertices_;
   if (query.source >= n) return false;
   for (Vertex t : query.targets) {
     if (t >= n) return false;
@@ -265,6 +345,11 @@ void QueryEngine::DispatcherMain() {
     PBFS_CHECK(outstanding_ >= batch.size());
     outstanding_ -= batch.size();
     done_cv_.notify_all();
+    // Dropping the batch (and its snapshot pins) outside the traversal
+    // path lets a superseded snapshot's epoch drain promptly.
+    lock.unlock();
+    batch.clear();
+    lock.lock();
   }
   // Shutdown: everything still queued completes as cancelled.
   while (!pending_.empty()) {
@@ -276,8 +361,19 @@ void QueryEngine::DispatcherMain() {
 std::vector<QueryEngine::PendingQuery> QueryEngine::TakeBatchLocked() {
   std::vector<PendingQuery> batch;
   const int64_t now = NowNanos();
+  uint64_t batch_version = 0;
   while (!pending_.empty() &&
          batch.size() < static_cast<size_t>(options_.max_batch_width)) {
+    // A batch traverses exactly one snapshot: stop at the first query
+    // pinned to a different version than the queue front (expired and
+    // invalid queries never traverse, so they drain regardless).
+    if (!batch.empty()) {
+      const PendingQuery& front = pending_.front();
+      const bool traversable =
+          (front.query.deadline_ns == 0 || now < front.query.deadline_ns) &&
+          IsValid(front.query);
+      if (traversable && front.snapshot->version() != batch_version) break;
+    }
     PendingQuery pending = std::move(pending_.front());
     pending_.pop_front();
     if (pending.query.deadline_ns != 0 && now >= pending.query.deadline_ns) {
@@ -290,6 +386,7 @@ std::vector<QueryEngine::PendingQuery> QueryEngine::TakeBatchLocked() {
     }
     stats_.coalesce_wait_ms.Add(static_cast<double>(now - pending.submit_ns) /
                                 1e6);
+    if (batch.empty()) batch_version = pending.snapshot->version();
     batch.push_back(std::move(pending));
   }
   return batch;
@@ -302,23 +399,43 @@ int QueryEngine::PickWidth(size_t count) const {
   return options_.max_batch_width;
 }
 
+void QueryEngine::BindRunners(const SnapshotManager::Ref& snap) {
+  if (snap->version() == runners_version_) return;
+  // The snapshot moved: drop every kernel bound to the old graph view
+  // and re-pin. Width instances rebuild lazily, so a burst after an
+  // update pays one state allocation per width it actually uses.
+  single_runner_.reset();
+  batch_runners_.clear();
+  runners_snapshot_ = snap;
+  runners_version_ = snap->version();
+  single_runner_ = FindVariantRunner(options_.single_variant,
+                                     runners_snapshot_->graph(), executor_);
+  PBFS_CHECK(single_runner_ != nullptr);
+}
+
 BfsVariantRunner* QueryEngine::RunnerForWidth(int width) {
   for (auto& [w, runner] : batch_runners_) {
     if (w == width) return runner.get();
   }
   std::unique_ptr<BfsVariantRunner> runner =
-      FindVariantRunner(options_.batch_variant, graph_, executor_, width);
+      FindVariantRunner(options_.batch_variant, runners_snapshot_->graph(),
+                        executor_, width);
   if (runner == nullptr) return nullptr;
   batch_runners_.emplace_back(width, std::move(runner));
   return batch_runners_.back().second.get();
 }
 
 int QueryEngine::ExecuteBatch(std::vector<PendingQuery>& batch) {
-  const Vertex n = graph_.num_vertices();
+  const Vertex n = num_vertices_;
   const size_t count = batch.size();
 #ifdef PBFS_TRACING
   obs::ScopedSpan batch_span(count == 1 ? "engine.single" : "engine.batch");
   batch_span.AddArg("queries", count);
+#endif
+  BindRunners(batch.front().snapshot);
+  const uint64_t content_version = batch.front().snapshot->content_version();
+#ifdef PBFS_TRACING
+  batch_span.AddArg("snapshot", content_version);
 #endif
   std::vector<Vertex> sources(count);
   // Bounded traversal when every query in the batch is radius-bounded
@@ -359,8 +476,10 @@ int QueryEngine::ExecuteBatch(std::vector<PendingQuery>& batch) {
   levels_.resize(count * static_cast<size_t>(n));
   runner->ComputeLevels(sources, options, levels_.data());
   for (size_t i = 0; i < count; ++i) {
-    batch[i].promise.set_value(
-        ExtractResult(batch[i].query, levels_.data() + i * n));
+    QueryResult result =
+        ExtractResult(batch[i].query, levels_.data() + i * n);
+    result.snapshot_version = content_version;
+    batch[i].promise.set_value(std::move(result));
 #ifdef PBFS_TRACING
     TraceQueryDone(batch[i].id, QueryStatus::kOk);
 #endif
@@ -370,7 +489,7 @@ int QueryEngine::ExecuteBatch(std::vector<PendingQuery>& batch) {
 
 QueryResult QueryEngine::ExtractResult(const Query& query,
                                        const Level* row) const {
-  const Vertex n = graph_.num_vertices();
+  const Vertex n = num_vertices_;
   QueryResult result;
   switch (query.type) {
     case QueryType::kLevels: {
@@ -432,7 +551,7 @@ void QueryEngine::ExportLiveMetrics(obs::MetricsRegistry* registry) {
 
 void QueryEngine::CollectLiveMetrics(obs::ExpositionWriter& writer) const {
   const int64_t now = NowNanos();
-  uint64_t counter_values[7];
+  uint64_t counter_values[9];
   double queue_depth, inflight;
   obs::RollingWindow::Stats latency[kNumQueryTypes];
   obs::RollingWindow::Stats occupancy;
@@ -445,9 +564,13 @@ void QueryEngine::CollectLiveMetrics(obs::ExpositionWriter& writer) const {
     counter_values[4] = stats_.queries_invalid;
     counter_values[5] = stats_.batches_run;
     counter_values[6] = stats_.single_runs;
+    counter_values[7] = stats_.update_batches;
+    counter_values[8] = stats_.edge_updates_applied;
     queue_depth = static_cast<double>(pending_.size());
     inflight = static_cast<double>(outstanding_);
   }
+  const SnapshotStats snapshot = snapshots_.GetStats();
+  const Compactor::Stats compaction = CompactorStats();
   // The rolling windows carry their own locks; read them outside
   // mutex_ so a scrape never extends the dispatcher's critical section.
   for (int t = 0; t < kNumQueryTypes; ++t) {
@@ -455,23 +578,27 @@ void QueryEngine::CollectLiveMetrics(obs::ExpositionWriter& writer) const {
   }
   occupancy = occupancy_window_.WindowStats(now);
 
-  static const char* const kCounterNames[7] = {
+  static const char* const kCounterNames[9] = {
       "pbfs_engine_queries_admitted_total",
       "pbfs_engine_queries_completed_total",
       "pbfs_engine_queries_cancelled_total",
       "pbfs_engine_queries_expired_total",
       "pbfs_engine_queries_invalid_total",
       "pbfs_engine_dispatch_batches_total",
-      "pbfs_engine_dispatch_singles_total"};
-  static const char* const kCounterHelp[7] = {
+      "pbfs_engine_dispatch_singles_total",
+      "pbfs_engine_update_batches_total",
+      "pbfs_engine_edge_updates_total"};
+  static const char* const kCounterHelp[9] = {
       "Queries accepted by Submit().",
       "Queries completed with status ok.",
       "Queries completed as cancelled.",
       "Queries whose deadline passed before dispatch.",
       "Queries rejected for out-of-range vertices.",
       "Multi-query coalesced dispatches.",
-      "Lone-query fallback dispatches."};
-  for (int i = 0; i < 7; ++i) {
+      "Lone-query fallback dispatches.",
+      "ApplyUpdates() batches published.",
+      "Edge updates across all published batches."};
+  for (int i = 0; i < 9; ++i) {
     writer.BeginFamily(kCounterNames[i], kCounterHelp[i], "counter");
     writer.Sample(kCounterNames[i], {},
                   static_cast<double>(counter_values[i]));
@@ -484,6 +611,53 @@ void QueryEngine::CollectLiveMetrics(obs::ExpositionWriter& writer) const {
                      "executing).",
                      "gauge");
   writer.Sample("pbfs_engine_inflight_queries", {}, inflight);
+
+  // Dynamic-graph surfaces: snapshot progression, live delta size, and
+  // compaction progress (see docs/dynamic.md).
+  writer.BeginFamily("pbfs_engine_snapshot_version",
+                     "Publication version of the current snapshot "
+                     "(bumps on updates and compaction swaps).",
+                     "gauge");
+  writer.Sample("pbfs_engine_snapshot_version", {},
+                static_cast<double>(snapshot.version));
+  writer.BeginFamily("pbfs_engine_snapshot_content_version",
+                     "Content version of the current snapshot (bumps "
+                     "only when the edge set changes).",
+                     "gauge");
+  writer.Sample("pbfs_engine_snapshot_content_version", {},
+                static_cast<double>(snapshot.content_version));
+  writer.BeginFamily("pbfs_engine_snapshot_epoch",
+                     "Reclamation epoch of the current snapshot.",
+                     "gauge");
+  writer.Sample("pbfs_engine_snapshot_epoch", {},
+                static_cast<double>(snapshot.epoch));
+  writer.BeginFamily("pbfs_engine_snapshot_retired",
+                     "Superseded snapshots awaiting epoch drain.",
+                     "gauge");
+  writer.Sample("pbfs_engine_snapshot_retired", {},
+                static_cast<double>(snapshot.retired));
+  writer.BeginFamily("pbfs_engine_delta_patched_vertices",
+                     "Vertices whose adjacency lives in the current "
+                     "snapshot's overlay rather than the base CSR.",
+                     "gauge");
+  writer.Sample("pbfs_engine_delta_patched_vertices", {},
+                static_cast<double>(snapshot.overlay_patched_vertices));
+  writer.BeginFamily("pbfs_engine_delta_edge_delta",
+                     "Directed CSR entries the overlay adds (positive) "
+                     "or removes (negative) vs the base.",
+                     "gauge");
+  writer.Sample("pbfs_engine_delta_edge_delta", {},
+                static_cast<double>(snapshot.overlay_edge_delta));
+  writer.BeginFamily("pbfs_engine_compactions_total",
+                     "Delta-to-CSR compaction cycles completed.",
+                     "counter");
+  writer.Sample("pbfs_engine_compactions_total", {},
+                static_cast<double>(compaction.compactions));
+  writer.BeginFamily("pbfs_engine_compaction_duration_ms",
+                     "Duration of the most recent compaction cycle.",
+                     "gauge");
+  writer.Sample("pbfs_engine_compaction_duration_ms", {},
+                compaction.last_duration_ms);
 
   // Windowed (not lifetime) quantiles: the whole point of the rolling
   // windows. Types with no samples in the window emit only _sum/_count

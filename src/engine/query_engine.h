@@ -12,14 +12,25 @@
 // lone query), runs it on the shared Executor, and fans the batched
 // level output back out into per-query results.
 //
-// Threading model: Submit/Cancel/Stats/Drain are thread-safe and may be
-// called from any number of client threads. All traversal work runs on
-// the dispatcher thread, which is therefore the executor's single
-// coordinating thread — clients never touch the WorkerPool directly,
-// and one engine must be the executor's only coordinator while it is
-// alive. Kernel instances are created lazily per width and reused
-// across batches, preserving the paper's one-instance memory footprint
-// (Figure 3) no matter how many clients are connected.
+// Dynamic graphs: ApplyUpdates() mutates the edge set in batches. Every
+// query resolves against the immutable snapshot current at admission
+// time (pinned in Submit, stamped into QueryResult::snapshot_version),
+// so in-flight queries never observe a half-applied batch. A lazily
+// started background Compactor folds accumulated deltas into a fresh
+// CSR and swaps it in with epoch-based reclamation; engines that never
+// call ApplyUpdates() spawn no extra threads and traverse the base CSR
+// through a null-overlay view whose cost is one predicted branch.
+//
+// Threading model: Submit/Cancel/Stats/Drain/ApplyUpdates are
+// thread-safe and may be called from any number of client threads. All
+// traversal work runs on the dispatcher thread, which is therefore the
+// executor's single coordinating thread — clients never touch the
+// WorkerPool directly, and one engine must be the executor's only
+// coordinator while it is alive (the compactor gets its own private
+// pool). Kernel instances are created lazily per width and reused
+// across batches while the snapshot is unchanged, preserving the
+// paper's one-instance memory footprint (Figure 3) no matter how many
+// clients are connected.
 #ifndef PBFS_ENGINE_QUERY_ENGINE_H_
 #define PBFS_ENGINE_QUERY_ENGINE_H_
 
@@ -37,7 +48,10 @@
 #include "bfs/common.h"
 #include "bfs/registry.h"
 #include "engine/query.h"
+#include "graph/compactor.h"
+#include "graph/delta.h"
 #include "graph/graph.h"
+#include "graph/snapshot.h"
 #include "sched/executor.h"
 #include "util/stats.h"
 
@@ -54,6 +68,8 @@ class MetricsRegistry;
 
 namespace pbfs {
 
+class WorkerPool;
+
 struct QueryEngineOptions {
   // Registry names (AllVariantNames) of the kernel used for coalesced
   // batches of >= 2 queries and of the fallback for a lone query.
@@ -65,6 +81,11 @@ struct QueryEngineOptions {
   // let a batch fill before launching it partially occupied. The
   // latency/occupancy trade-off knob: 0 dispatches immediately.
   double coalesce_wait_ms = 0.25;
+  // Workers in the compactor's private pool (created lazily on the
+  // first ApplyUpdates); <= 1 compacts on a SerialExecutor instead.
+  int compactor_workers = 2;
+  // Fault injection forwarded to CompactorOptions::debug_delay_ms.
+  double compactor_debug_delay_ms = 0;
   // Traversal tuning applied to every dispatch. max_level acts as an
   // engine-wide radius cap; k-hop-only batches tighten it further.
   BfsOptions bfs;
@@ -79,6 +100,8 @@ struct QueryEngineStats {
   uint64_t queries_invalid = 0;
   uint64_t batches_run = 0;   // multi-query dispatches
   uint64_t single_runs = 0;   // lone-query fallback dispatches
+  uint64_t update_batches = 0;        // ApplyUpdates calls
+  uint64_t edge_updates_applied = 0;  // EdgeUpdates across those calls
   // Queries per batch slot (batch size / chosen width), one sample per
   // multi-query dispatch. Mean occupancy near 1 means coalescing is
   // filling the bitset widths it pays for.
@@ -104,6 +127,8 @@ class QueryEngine {
   };
 
   // `graph` and `executor` are borrowed and must outlive the engine.
+  // `graph` becomes the base of snapshot version 1; after compaction
+  // replaces it the engine no longer reads it.
   QueryEngine(const Graph& graph, Executor* executor,
               QueryEngineOptions options = {});
   // Stops the dispatcher; queries still queued complete as kCancelled.
@@ -121,10 +146,25 @@ class QueryEngine {
   bool Cancel(uint64_t id);
 
   // Thread-safe. Blocks until every admitted query has been completed
-  // (traversed, cancelled, expired, or rejected).
+  // (traversed, cancelled, expired, or rejected). Does not wait for
+  // background compaction; see WaitCompactorIdle().
   void Drain();
 
+  // Thread-safe. Publishes one batch of edge mutations as a new
+  // snapshot and nudges the background compactor. Queries admitted
+  // before the call keep their pinned pre-update snapshot; queries
+  // admitted after see the batch. Returns the content version whose
+  // snapshots contain the batch (the value stamped into their results).
+  uint64_t ApplyUpdates(std::span<const EdgeUpdate> updates);
+
+  // Thread-safe. Blocks until the compactor has folded every published
+  // delta into a flat CSR. No-op when ApplyUpdates was never called.
+  void WaitCompactorIdle();
+
   QueryEngineStats Stats() const;
+  SnapshotStats SnapshotInfo() const;
+  // Zero-valued when the compactor was never started.
+  Compactor::Stats CompactorStats() const;
 
   const QueryEngineOptions& options() const { return options_; }
 
@@ -145,9 +185,10 @@ class QueryEngine {
   size_t QueueDepth() const;
 
   // Registers a scrape-time collector on `registry` exporting windowed
-  // per-type latency quantiles, batch occupancy, queue depth, and the
-  // lifetime counters. The engine withdraws the collector in its
-  // destructor; `registry` must outlive the engine.
+  // per-type latency quantiles, batch occupancy, queue depth, snapshot
+  // and compaction gauges, and the lifetime counters. The engine
+  // withdraws the collector in its destructor; `registry` must outlive
+  // the engine.
   void ExportLiveMetrics(obs::MetricsRegistry* registry);
 #endif
 
@@ -157,21 +198,30 @@ class QueryEngine {
     Query query;
     std::promise<QueryResult> promise;
     int64_t submit_ns = 0;
+    // The snapshot current at admission; the whole batch containing
+    // this query traverses it.
+    SnapshotManager::Ref snapshot;
   };
 
   void DispatcherMain();
-  // Pops up to max_batch_width traversable queries, completing expired
-  // and invalid ones in place. Requires mutex_ held.
+  // Pops traversable queries sharing the queue front's snapshot version
+  // (up to max_batch_width), completing expired and invalid ones in
+  // place. Requires mutex_ held.
   std::vector<PendingQuery> TakeBatchLocked();
   // Runs one batch (no lock held) and fulfills its promises. Returns
   // the width the batch occupied (1 for the single-query fallback).
   int ExecuteBatch(std::vector<PendingQuery>& batch);
   // Smallest supported width >= count, capped at max_batch_width.
   int PickWidth(size_t count) const;
+  // Rebinds the cached kernels to `snap`'s graph when the snapshot
+  // changed since the last dispatch. Dispatcher thread only.
+  void BindRunners(const SnapshotManager::Ref& snap);
   BfsVariantRunner* RunnerForWidth(int width);
   bool IsValid(const Query& query) const;
   QueryResult ExtractResult(const Query& query, const Level* row) const;
   void CompleteLocked(PendingQuery& pending, QueryStatus status);
+  // Starts the compactor (and its private pool) on first use.
+  void EnsureCompactorStarted();
 
 #ifdef PBFS_TRACING
   // Appends the engine's exposition families. Called by the registered
@@ -180,12 +230,25 @@ class QueryEngine {
   void CollectLiveMetrics(obs::ExpositionWriter& writer) const;
 #endif
 
-  const Graph& graph_;
   Executor* executor_;
   const QueryEngineOptions options_;
+  const Vertex num_vertices_;  // fixed: updates only churn edges
 
-  // Dispatcher-thread-only state: kernel instances cached per width,
-  // and the reusable batched level buffer.
+  SnapshotManager snapshots_;
+
+  // Compactor machinery, created lazily by the first ApplyUpdates so
+  // static workloads pay no extra threads. Guarded by compactor_mu_
+  // (mutable: stats surfaces read the pointers under it).
+  mutable std::mutex compactor_mu_;
+  std::unique_ptr<WorkerPool> compactor_pool_;
+  std::unique_ptr<SerialExecutor> compactor_serial_;
+  std::unique_ptr<Compactor> compactor_;
+
+  // Dispatcher-thread-only state: kernel instances cached per width and
+  // bound to runners_snapshot_'s graph, plus the reusable batched level
+  // buffer. The pin keeps the bound graph alive across batches.
+  SnapshotManager::Ref runners_snapshot_;
+  uint64_t runners_version_ = 0;
   std::unique_ptr<BfsVariantRunner> single_runner_;
   std::vector<std::pair<int, std::unique_ptr<BfsVariantRunner>>>
       batch_runners_;

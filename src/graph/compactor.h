@@ -1,0 +1,86 @@
+// Background delta compaction for the dynamic graph substrate.
+//
+// The Compactor owns one background thread that, whenever notified and
+// the current snapshot carries an overlay, folds the overlay back into a
+// fresh flat CSR: it pins the snapshot, flattens base + overlay to an
+// edge list, rebuilds with the parallel_build machinery, and swaps the
+// result in through SnapshotManager::InstallCompacted. Readers pinned to
+// the old CSR keep traversing it; the old arrays are freed when their
+// epoch drains (see graph/snapshot.h).
+//
+// The executor passed in must be dedicated to the compactor — it runs
+// concurrently with query traversals, and a WorkerPool tolerates only
+// one coordinating thread (QueryEngine gives it a small private pool).
+#ifndef PBFS_GRAPH_COMPACTOR_H_
+#define PBFS_GRAPH_COMPACTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "graph/snapshot.h"
+#include "sched/executor.h"
+
+namespace pbfs {
+
+struct CompactorOptions {
+  // Test/ops fault injection: sleep this long inside each compaction so
+  // cancellation/drain-during-compaction races can be exercised
+  // deterministically. 0 (the default) costs nothing.
+  double debug_delay_ms = 0;
+};
+
+class Compactor {
+ public:
+  // `snapshots` and `executor` are borrowed and must outlive the
+  // compactor. The thread starts immediately but sleeps until Notify().
+  Compactor(SnapshotManager* snapshots, Executor* executor,
+            CompactorOptions options = {});
+  // Stops after the in-flight compaction (if any); never blocks on new
+  // work.
+  ~Compactor();
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  // Wakes the background thread; it compacts until the current snapshot
+  // has no overlay. Cheap and thread-safe — call after every ApplyBatch.
+  void Notify();
+
+  // Blocks until the thread is idle with no pending notification.
+  void WaitIdle();
+
+  struct Stats {
+    uint64_t compactions = 0;
+    double last_duration_ms = 0;
+    double total_duration_ms = 0;
+    uint64_t last_edges = 0;  // undirected edges in the last rebuild
+  };
+  Stats GetStats() const;
+
+ private:
+  void Main();
+  // One pin->materialize->rebuild->swap cycle. False when the current
+  // snapshot had nothing to compact.
+  bool RunOnce();
+  bool StopRequested() const;
+
+  SnapshotManager* const snapshots_;
+  Executor* const executor_;
+  const CompactorOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  bool stop_ = false;
+  bool notified_ = false;
+  bool busy_ = false;
+  Stats stats_;
+
+  std::thread thread_;
+};
+
+}  // namespace pbfs
+
+#endif  // PBFS_GRAPH_COMPACTOR_H_

@@ -1,0 +1,108 @@
+// Mutation side of the dynamic graph substrate: thread-safe
+// per-partition edge insert/delete buffers, and the pure functions that
+// freeze drained buffers into the immutable AdjacencyOverlay patches
+// traversed via Graph::OverlayView (graph/graph.h).
+//
+// Update semantics match Graph::FromEdges normalization: the graph is a
+// set of undirected edges, self loops are dropped, inserting a present
+// edge and deleting an absent one are no-ops, and conflicting updates
+// resolve last-wins in buffer admission (sequence) order.
+#ifndef PBFS_GRAPH_DELTA_H_
+#define PBFS_GRAPH_DELTA_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace pbfs {
+
+class Executor;
+
+// One requested edge mutation. Endpoints must lie in [0, num_vertices):
+// the vertex set is fixed at engine construction, only edges churn.
+struct EdgeUpdate {
+  Vertex u = 0;
+  Vertex v = 0;
+  bool insert = true;  // false: delete
+};
+
+// An EdgeUpdate stamped with its global admission sequence number; the
+// overlay builder replays stamped updates in sequence order.
+struct StampedUpdate {
+  uint64_t seq = 0;
+  EdgeUpdate update;
+};
+
+// Thread-safe staging area for not-yet-published updates. Writers append
+// under one of `num_partitions` striped locks chosen by the lower
+// endpoint's vertex range (the same owner-computes split the traversal
+// state uses), so concurrent mutators on disjoint regions never contend;
+// a global atomic sequence stamp keeps the merged order total.
+class DeltaBuffer {
+ public:
+  explicit DeltaBuffer(Vertex num_vertices, int num_partitions = 8);
+
+  DeltaBuffer(const DeltaBuffer&) = delete;
+  DeltaBuffer& operator=(const DeltaBuffer&) = delete;
+
+  // Stamps and stages `updates`. Self loops are dropped here (mirroring
+  // FromEdges); out-of-range endpoints are programming errors.
+  void Append(std::span<const EdgeUpdate> updates);
+
+  // Atomically empties every partition and returns the staged updates
+  // sorted by sequence stamp. Thread-safe against concurrent Append.
+  std::vector<StampedUpdate> Drain();
+
+  // Staged updates not yet drained (approximate under concurrency).
+  uint64_t pending() const;
+
+  int num_partitions() const { return static_cast<int>(partitions_.size()); }
+
+ private:
+  struct Partition {
+    std::mutex mu;
+    std::vector<StampedUpdate> ops;
+  };
+
+  int PartitionOf(Vertex u, Vertex v) const;
+
+  const Vertex num_vertices_;
+  std::atomic<uint64_t> next_seq_{0};
+  std::vector<std::unique_ptr<Partition>> partitions_;
+};
+
+// Replays seq-sorted `updates` on top of `base` (an owning CSR, no
+// overlay) already patched by `prev` (may be null), returning the frozen
+// overlay for the resulting edge set. Returns null when the result is
+// exactly the base CSR (every update was a no-op or got reverted).
+// Patches that an update sequence returns to their base list — e.g.
+// delete-then-reinsert — are dropped when the vertex was not patched in
+// `prev`. Previously patched vertices keep their patch even when it
+// equals the base list: a compaction pinned before this batch may fold
+// the *old* patch into its fresh CSR, and RebaseOverlay can only undo
+// that for vertices the overlay still mentions. Such base-equal patches
+// are shed at the next compaction swap.
+std::shared_ptr<const AdjacencyOverlay> ApplyUpdatesToOverlay(
+    const Graph& base, const AdjacencyOverlay* prev,
+    std::span<const StampedUpdate> updates);
+
+// Filters `prev` against a freshly compacted base: keeps only patches
+// whose list still differs from `fresh_base`'s. Null when nothing
+// survives — the common case, where compaction folded every patch in.
+std::shared_ptr<const AdjacencyOverlay> RebaseOverlay(
+    const Graph& fresh_base, const AdjacencyOverlay* prev);
+
+// Flattens `view` (base + overlay) back into an undirected edge list
+// with u < v per edge — the compactor's input to BuildGraphParallel.
+// Runs the scan on `executor` when given, serially when null.
+std::vector<Edge> MaterializeEdges(const Graph& view,
+                                   Executor* executor = nullptr);
+
+}  // namespace pbfs
+
+#endif  // PBFS_GRAPH_DELTA_H_

@@ -54,6 +54,8 @@ Graph Graph::FromEdges(Vertex num_vertices, std::span<const Edge> edges) {
   }
   g.offsets_[num_vertices] = out;
   g.num_directed_edges_ = out;
+  g.offsets_ptr_ = g.offsets_.data();
+  g.targets_ptr_ = g.targets_.data();
   return g;
 }
 
@@ -70,6 +72,27 @@ Graph Graph::FromCsr(Vertex num_vertices, AlignedBuffer<EdgeIndex> offsets,
   g.num_directed_edges_ = offsets[num_vertices];
   g.offsets_ = std::move(offsets);
   g.targets_ = std::move(targets);
+  g.offsets_ptr_ = g.offsets_.data();
+  g.targets_ptr_ = g.targets_.data();
+  return g;
+}
+
+Graph Graph::OverlayView(const Graph& base, const AdjacencyOverlay* overlay) {
+  PBFS_CHECK(!base.has_overlay());  // views stack on owning graphs only
+  Graph g;
+  g.num_vertices_ = base.num_vertices_;
+  g.offsets_ptr_ = base.offsets_ptr_;
+  g.targets_ptr_ = base.targets_ptr_;
+  g.num_directed_edges_ = base.num_directed_edges_;
+  if (overlay != nullptr) {
+    PBFS_CHECK(overlay->slot.size() == base.num_vertices_);
+    const int64_t directed =
+        static_cast<int64_t>(base.num_directed_edges_) +
+        overlay->directed_edge_delta;
+    PBFS_CHECK(directed >= 0);
+    g.num_directed_edges_ = static_cast<EdgeIndex>(directed);
+    g.overlay_ = overlay;
+  }
   return g;
 }
 
@@ -77,6 +100,19 @@ bool Graph::HasEdge(Vertex u, Vertex v) const {
   PBFS_DCHECK(u < num_vertices_ && v < num_vertices_);
   std::span<const Vertex> ns = Neighbors(u);
   return std::binary_search(ns.begin(), ns.end(), v);
+}
+
+uint64_t Graph::MemoryBytes() const {
+  if (offsets_.size() > 0) {
+    return targets_.size_bytes() + offsets_.size_bytes();
+  }
+  // Non-owning view: logical size of the aliased base arrays plus the
+  // overlay's patch structures.
+  uint64_t bytes =
+      (static_cast<uint64_t>(num_vertices_) + 1) * sizeof(EdgeIndex) +
+      static_cast<uint64_t>(num_directed_edges_) * sizeof(Vertex);
+  if (overlay_ != nullptr) bytes += overlay_->MemoryBytes();
+  return bytes;
 }
 
 EdgeIndex Graph::MaxDegree() const {

@@ -7,6 +7,14 @@
 // page-aligned so the NUMA placement scheme of Section 4.4 (neighbor
 // lists co-located with the worker that owns the vertex range) can place
 // them deterministically.
+//
+// A Graph is either *owning* (FromEdges / FromCsr) or an *overlay view*
+// (OverlayView): a non-owning alias of a base CSR plus an optional
+// frozen AdjacencyOverlay of replacement adjacency lists. Views are what
+// GraphSnapshot hands to the traversal kernels (see graph/snapshot.h);
+// every kernel reads the graph exclusively through Degree()/Neighbors(),
+// so the overlay indirection is confined to these two accessors and
+// costs one predictable branch on the immutable fast path.
 #ifndef PBFS_GRAPH_GRAPH_H_
 #define PBFS_GRAPH_GRAPH_H_
 
@@ -19,6 +27,35 @@
 #include "util/check.h"
 
 namespace pbfs {
+
+// Frozen set of replacement adjacency lists layered over a base CSR.
+// Immutable once built (see graph/delta.h for construction): readers
+// share it across threads without synchronization. Each patched vertex
+// carries its *complete* post-update adjacency list (sorted, deduped,
+// self-loop free), so lookups never merge base and delta at traversal
+// time and rebasing onto a freshly compacted CSR is a pure filter.
+struct AdjacencyOverlay {
+  static constexpr uint32_t kNotPatched = 0xFFFFFFFFu;
+
+  // Per-vertex patch slot: kNotPatched, or an index into offsets/patched.
+  std::vector<uint32_t> slot;
+  // Mini-CSR of replacement lists: offsets has patched.size() + 1
+  // entries; targets holds the concatenated replacement lists.
+  std::vector<EdgeIndex> offsets;
+  std::vector<Vertex> targets;
+  // Patched vertex ids, ascending; patched[i] owns list i.
+  std::vector<Vertex> patched;
+  // Change in directed CSR entries vs the base (always even: the
+  // overlay stays symmetric).
+  int64_t directed_edge_delta = 0;
+
+  size_t num_patched() const { return patched.size(); }
+
+  uint64_t MemoryBytes() const {
+    return slot.size() * sizeof(uint32_t) + offsets.size() * sizeof(EdgeIndex) +
+           targets.size() * sizeof(Vertex) + patched.size() * sizeof(Vertex);
+  }
+};
 
 class Graph {
  public:
@@ -33,6 +70,11 @@ class Graph {
   // deduplicated, self-loop free, and symmetric.
   static Graph FromCsr(Vertex num_vertices, AlignedBuffer<EdgeIndex> offsets,
                        AlignedBuffer<Vertex> targets);
+
+  // Non-owning view of `base` with `overlay` (may be null) patched over
+  // it. `base` must be an owning graph; both it and the overlay must
+  // outlive the view — GraphSnapshot owns both and ties the lifetimes.
+  static Graph OverlayView(const Graph& base, const AdjacencyOverlay* overlay);
 
   Graph() = default;
   Graph(Graph&&) = default;
@@ -50,27 +92,52 @@ class Graph {
 
   EdgeIndex Degree(Vertex v) const {
     PBFS_DCHECK(v < num_vertices_);
-    return offsets_[v + 1] - offsets_[v];
+    if (overlay_ != nullptr) {
+      const uint32_t s = overlay_->slot[v];
+      if (s != AdjacencyOverlay::kNotPatched) {
+        return overlay_->offsets[s + 1] - overlay_->offsets[s];
+      }
+    }
+    return offsets_ptr_[v + 1] - offsets_ptr_[v];
   }
 
   std::span<const Vertex> Neighbors(Vertex v) const {
     PBFS_DCHECK(v < num_vertices_);
-    return {targets_.data() + offsets_[v],
-            static_cast<size_t>(offsets_[v + 1] - offsets_[v])};
+    if (overlay_ != nullptr) {
+      const uint32_t s = overlay_->slot[v];
+      if (s != AdjacencyOverlay::kNotPatched) {
+        return {overlay_->targets.data() + overlay_->offsets[s],
+                static_cast<size_t>(overlay_->offsets[s + 1] -
+                                    overlay_->offsets[s])};
+      }
+    }
+    return {targets_ptr_ + offsets_ptr_[v],
+            static_cast<size_t>(offsets_ptr_[v + 1] - offsets_ptr_[v])};
   }
 
   bool HasEdge(Vertex u, Vertex v) const;
 
-  // Raw CSR arrays for the traversal kernels.
-  const EdgeIndex* offsets() const { return offsets_.data(); }
-  const Vertex* targets() const { return targets_.data(); }
+  // True for OverlayView graphs carrying a non-null overlay.
+  bool has_overlay() const { return overlay_ != nullptr; }
+
+  // Raw CSR arrays for passes that address edges positionally (NUMA
+  // placement, relabeling, binary I/O). Meaningless under an overlay —
+  // patched vertices would silently read stale lists — so overlay views
+  // must not reach these.
+  const EdgeIndex* offsets() const {
+    PBFS_DCHECK(overlay_ == nullptr);
+    return offsets_ptr_;
+  }
+  const Vertex* targets() const {
+    PBFS_DCHECK(overlay_ == nullptr);
+    return targets_ptr_;
+  }
 
   // Estimated in-memory size in bytes, following the paper's Table 1
   // accounting: 2 * 4 bytes per undirected edge (both CSR directions of
-  // 32-bit ids) plus the offset array.
-  uint64_t MemoryBytes() const {
-    return targets_.size_bytes() + offsets_.size_bytes();
-  }
+  // 32-bit ids) plus the offset array. Views report the logical size of
+  // the shared base arrays plus the overlay.
+  uint64_t MemoryBytes() const;
 
   // Maximum vertex degree.
   EdgeIndex MaxDegree() const;
@@ -82,6 +149,11 @@ class Graph {
  private:
   Vertex num_vertices_ = 0;
   EdgeIndex num_directed_edges_ = 0;
+  // Hot-path cursors: owning graphs point them at offsets_/targets_
+  // below; views alias another graph's arrays.
+  const EdgeIndex* offsets_ptr_ = nullptr;
+  const Vertex* targets_ptr_ = nullptr;
+  const AdjacencyOverlay* overlay_ = nullptr;
   AlignedBuffer<EdgeIndex> offsets_;  // num_vertices_ + 1 entries
   AlignedBuffer<Vertex> targets_;     // num_directed_edges_ entries
 };

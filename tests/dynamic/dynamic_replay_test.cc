@@ -1,0 +1,219 @@
+// Differential update/query replay harness for the dynamic-graph
+// substrate.
+//
+// Each trial derives one randomized interleaving of edge-update batches
+// and typed queries from a seed (MakeSchedule), replays it against a
+// live QueryEngine, and diffs every result against the sequential
+// rebuild-CSR-then-BFS oracle for the graph state identified by the
+// result's snapshot_version stamp. Four replay modes: serial
+// (deterministic version checks), concurrent (updater thread racing
+// client threads), and the steal_heavy / starvation perturbation
+// schedules on top of the concurrent mode. Together they replay >= 200
+// interleavings per run at the default trial counts.
+//
+// Labeled dynamic + differential in CMake so the TSan and ASan+UBSan CI
+// legs run it; see docs/testing.md. Failures print the PBFS_DIFF_SEED
+// reproduction banner.
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dynamic/dynamic_util.h"
+#include "engine/query_engine.h"
+#include "sched/steal_policy.h"
+#include "sched/worker_pool.h"
+
+namespace pbfs {
+namespace {
+
+using diff::ReproNote;
+using dyn::DiffResult;
+using dyn::MakeSchedule;
+using dyn::QuerySpec;
+using dyn::ReplayOracle;
+using dyn::ReplaySchedule;
+using dyn::ToQuery;
+
+// Trial count for one replay mode: the mode's default, unless
+// PBFS_DIFF_TRIALS overrides it (the repro workflow sets it to 1).
+int ReplayTrials(int default_trials) {
+  const uint64_t env = diff::EnvOr("PBFS_DIFF_TRIALS", 0);
+  return env == 0 ? default_trials : static_cast<int>(env);
+}
+
+// Deterministic interleaving: queries scheduled after batch k are
+// submitted and checked between ApplyUpdates calls k and k+1, so every
+// snapshot_version stamp and ApplyUpdates return value is exactly
+// predictable.
+void SerialReplayTrial(WorkerPool* pool, uint64_t seed) {
+  const ReplaySchedule sched = MakeSchedule(seed);
+  ReplayOracle oracle(sched);
+  const Graph graph = Graph::FromEdges(sched.n, sched.initial_edges);
+
+  QueryEngineOptions options;
+  options.coalesce_wait_ms = 0;
+  QueryEngine engine(graph, pool, options);
+  const uint64_t base_cv = engine.SnapshotInfo().content_version;
+  ASSERT_EQ(base_cv, 1u);
+
+  const int num_batches = static_cast<int>(sched.batches.size());
+  for (int k = 0; k <= num_batches; ++k) {
+    for (size_t q = 0; q < sched.queries.size(); ++q) {
+      const QuerySpec& spec = sched.queries[q];
+      if (spec.after_batches != k) continue;
+      QueryEngine::Submission sub = engine.Submit(ToQuery(spec));
+      const QueryResult result = sub.result.get();
+      ASSERT_EQ(result.status, QueryStatus::kOk) << "query " << q;
+      ASSERT_EQ(result.snapshot_version, base_cv + static_cast<uint64_t>(k))
+          << "query " << q;
+      const std::string mismatch = DiffResult(oracle.GraphAfter(k), spec,
+                                              result);
+      ASSERT_TRUE(mismatch.empty())
+          << "query " << q << " (" << QueryTypeName(spec.type) << " from "
+          << spec.source << ") after " << k << " batches: " << mismatch;
+    }
+    if (k < num_batches) {
+      // MakeSchedule guarantees at least one non-self-loop op per
+      // batch, so each batch publishes exactly one new content version.
+      ASSERT_EQ(engine.ApplyUpdates(sched.batches[k]),
+                base_cv + static_cast<uint64_t>(k) + 1);
+    }
+  }
+
+  engine.Drain();
+  engine.WaitCompactorIdle();
+  const SnapshotStats snap = engine.SnapshotInfo();
+  EXPECT_EQ(snap.content_version,
+            base_cv + static_cast<uint64_t>(num_batches));
+  EXPECT_EQ(snap.overlay_patched_vertices, 0u)
+      << "compactor left deltas behind";
+
+  // One final full-levels query confirms the compacted CSR equals the
+  // oracle's final edge set end to end.
+  QuerySpec final_spec;
+  final_spec.type = QueryType::kLevels;
+  final_spec.source = 0;
+  QueryResult final_result = engine.Submit(ToQuery(final_spec)).result.get();
+  ASSERT_EQ(final_result.status, QueryStatus::kOk);
+  const std::string mismatch =
+      DiffResult(oracle.GraphAfter(num_batches), final_spec, final_result);
+  EXPECT_TRUE(mismatch.empty()) << "post-compaction: " << mismatch;
+}
+
+// Racy interleaving: one updater thread publishes the batch sequence
+// while client threads submit the schedule's queries. Which snapshot a
+// query lands on is nondeterministic, but the stamp in its result pins
+// it to exactly one oracle prefix.
+void ConcurrentReplayTrial(WorkerPool* pool, uint64_t seed) {
+  const ReplaySchedule sched = MakeSchedule(seed);
+  ReplayOracle oracle(sched);
+  const Graph graph = Graph::FromEdges(sched.n, sched.initial_edges);
+
+  QueryEngineOptions options;
+  options.coalesce_wait_ms = 0.05;
+  options.bfs.split_size = 64;  // small tasks so stealing happens
+  QueryEngine engine(graph, pool, options);
+  const uint64_t base_cv = engine.SnapshotInfo().content_version;
+  const uint64_t num_batches = sched.batches.size();
+
+  // A single updater keeps the snapshot_version -> batch-prefix mapping
+  // exact: version base_cv + p holds precisely the first p batches.
+  std::thread updater([&] {
+    for (const std::vector<EdgeUpdate>& batch : sched.batches) {
+      engine.ApplyUpdates(batch);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  constexpr int kClients = 3;
+  std::vector<std::pair<size_t, QueryResult>> results[kClients];
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t q = static_cast<size_t>(c); q < sched.queries.size();
+           q += kClients) {
+        QueryEngine::Submission sub =
+            engine.Submit(ToQuery(sched.queries[q]));
+        results[c].emplace_back(q, sub.result.get());
+      }
+    });
+  }
+  updater.join();
+  for (std::thread& t : clients) t.join();
+  engine.Drain();
+
+  for (int c = 0; c < kClients; ++c) {
+    for (const auto& [q, result] : results[c]) {
+      const QuerySpec& spec = sched.queries[q];
+      ASSERT_EQ(result.status, QueryStatus::kOk) << "query " << q;
+      ASSERT_GE(result.snapshot_version, base_cv) << "query " << q;
+      ASSERT_LE(result.snapshot_version, base_cv + num_batches)
+          << "query " << q;
+      const int prefix = static_cast<int>(result.snapshot_version - base_cv);
+      const std::string mismatch =
+          DiffResult(oracle.GraphAfter(prefix), spec, result);
+      ASSERT_TRUE(mismatch.empty())
+          << "query " << q << " (" << QueryTypeName(spec.type) << " from "
+          << spec.source << ") on snapshot prefix " << prefix << ": "
+          << mismatch;
+    }
+  }
+
+  const QueryEngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.queries_admitted, sched.queries.size());
+  EXPECT_EQ(stats.queries_completed, sched.queries.size());
+  EXPECT_EQ(stats.update_batches, num_batches);
+}
+
+TEST(DynamicReplayTest, SerialReplayMatchesOracle) {
+  WorkerPool pool({.num_workers = 4, .pin_threads = false});
+  const int trials = ReplayTrials(70);
+  for (int trial = 0; trial < trials; ++trial) {
+    const uint64_t seed = diff::TrialSeed(static_cast<uint64_t>(trial));
+    SCOPED_TRACE(ReproNote(seed));
+    SerialReplayTrial(&pool, seed);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(DynamicReplayTest, ConcurrentReplayMatchesOracle) {
+  WorkerPool pool({.num_workers = 4, .pin_threads = false});
+  const int trials = ReplayTrials(70);
+  for (int trial = 0; trial < trials; ++trial) {
+    // Offset the trial index so the concurrent corpus differs from the
+    // serial one under the same base seed.
+    const uint64_t seed = diff::TrialSeed(1000 + static_cast<uint64_t>(trial));
+    SCOPED_TRACE(ReproNote(seed));
+    ConcurrentReplayTrial(&pool, seed);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(DynamicReplayTest, ConcurrentReplayUnderPerturbedSchedules) {
+  WorkerPool pool({.num_workers = 4, .pin_threads = false});
+  const int trials = ReplayTrials(30);
+  for (const NamedStealPolicy& schedule : PerturbationSchedules()) {
+    if (schedule.name != "steal_heavy" && schedule.name != "starvation") {
+      continue;
+    }
+    // Installed between loops, before the engine's dispatcher exists.
+    pool.SetStealPolicy(schedule.policy);
+    for (int trial = 0; trial < trials; ++trial) {
+      const uint64_t seed =
+          diff::TrialSeed(2000 + static_cast<uint64_t>(trial));
+      SCOPED_TRACE("policy=" + schedule.name + " " + ReproNote(seed));
+      ConcurrentReplayTrial(&pool, seed);
+      if (HasFatalFailure()) break;
+    }
+    pool.SetStealPolicy(nullptr);
+    if (HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace pbfs
