@@ -26,11 +26,16 @@
 // against admission-time snapshots while the background compactor folds
 // the churn back into flat CSRs (see docs/dynamic.md).
 //
+// --sketch-clusters=N enables the Cluster-BFS distance sketches with N
+// clusters and mixes point-to-point distance queries into the client
+// streams; sketch-resolvable ones answer inline without a batch slot
+// (pbfs_sketch_* series on /metrics; see docs/sketches.md).
+//
 //   ./engine_server_demo [--vertices_log2 16] [--clients 8]
 //                        [--queries_per_client 64] [--threads N]
 //                        [--run-seconds 0] [--serve-metrics PORT]
 //                        [--inject-slow-query-ms 0]
-//                        [--churn-edges-per-sec 0]
+//                        [--churn-edges-per-sec 0] [--sketch-clusters 0]
 
 #include <algorithm>
 #include <atomic>
@@ -59,10 +64,10 @@ void HandleStopSignal(int /*signum*/) {
   g_stop.store(true, std::memory_order_relaxed);
 }
 
-pbfs::Query RandomQuery(pbfs::Rng& rng, pbfs::Vertex n) {
+pbfs::Query RandomQuery(pbfs::Rng& rng, pbfs::Vertex n, bool sketches) {
   pbfs::Query query;
   query.source = static_cast<pbfs::Vertex>(rng.NextBounded(n));
-  switch (rng.NextBounded(4)) {
+  switch (rng.NextBounded(sketches ? 5 : 4)) {
     case 0:
       query.type = pbfs::QueryType::kLevels;
       break;
@@ -77,9 +82,16 @@ pbfs::Query RandomQuery(pbfs::Rng& rng, pbfs::Vertex n) {
       query.type = pbfs::QueryType::kReachability;
       query.targets.push_back(static_cast<pbfs::Vertex>(rng.NextBounded(n)));
       break;
-    default:
+    case 3:
       query.type = pbfs::QueryType::kKHop;
       query.max_hops = 3;
+      break;
+    default:
+      // Point-to-point distance with a loose tolerance: most pairs on
+      // the hub-heavy social graph resolve from the sketch inline.
+      query.type = pbfs::QueryType::kPointToPointDistance;
+      query.targets.push_back(static_cast<pbfs::Vertex>(rng.NextBounded(n)));
+      query.tolerance = static_cast<pbfs::Level>(rng.NextBounded(4));
       break;
   }
   return query;
@@ -95,6 +107,7 @@ int main(int argc, char** argv) {
   double run_seconds = 0;
   double inject_slow_query_ms = 0;
   int64_t churn_edges_per_sec = 0;
+  int64_t sketch_clusters = 0;
   pbfs::FlagParser flags(
       "Concurrent BFS query engine demo: multi-threaded clients, "
       "coalesced MS-PBFS batches, optional live telemetry server");
@@ -112,6 +125,10 @@ int main(int argc, char** argv) {
   flags.AddInt64("churn-edges-per-sec", &churn_edges_per_sec,
                  "publish ~this many edge updates per second through "
                  "ApplyUpdates while the workload runs (0 = static)");
+  flags.AddInt64("sketch-clusters", &sketch_clusters,
+                 "enable Cluster-BFS distance sketches with this many "
+                 "clusters and mix point-to-point distance queries into "
+                 "the client streams (0 = disabled)");
   pbfs::obs::ObsCli obs_cli("engine_server_demo");
   obs_cli.Register(&flags);
   flags.Parse(argc, argv);
@@ -130,9 +147,23 @@ int main(int argc, char** argv) {
 
   pbfs::WorkerPool pool({.num_workers = static_cast<int>(threads)});
   obs_cli.AuditPlacement(graph, &pool, pbfs::BfsOptions{}.split_size);
-  pbfs::QueryEngine engine(graph, &pool);
+  pbfs::QueryEngineOptions engine_options;
+  if (sketch_clusters > 0) {
+    engine_options.enable_sketches = true;
+    engine_options.sketch.num_clusters = static_cast<int>(sketch_clusters);
+  }
+  pbfs::QueryEngine engine(graph, &pool, engine_options);
   obs_cli.WatchPool(&pool);
   obs_cli.WatchEngine(&engine);
+  if (sketch_clusters > 0) {
+    // Serve from a warm sketch so the very first p2p queries can hit.
+    engine.WaitSketchIdle();
+    const pbfs::SketchRebuilder::Stats sketch = engine.SketchStats();
+    std::printf("sketch: %lld clusters, %.1f MB, built in %.1f ms\n",
+                static_cast<long long>(sketch_clusters),
+                static_cast<double>(sketch.sketch_bytes) / 1e6,
+                sketch.last_build_ms);
+  }
 
   std::atomic<uint64_t> ok{0};
   std::atomic<uint64_t> submitted{0};
@@ -150,7 +181,7 @@ int main(int argc, char** argv) {
         } else if (q >= queries_per_client) {
           break;
         }
-        auto sub = engine.Submit(RandomQuery(rng, n));
+        auto sub = engine.Submit(RandomQuery(rng, n, sketch_clusters > 0));
         submitted.fetch_add(1, std::memory_order_relaxed);
         pbfs::QueryResult result = sub.result.get();
         if (result.status == pbfs::QueryStatus::kOk) {
@@ -250,6 +281,22 @@ int main(int argc, char** argv) {
     obs_cli.json().Add("edge_updates_applied", stats.edge_updates_applied);
     obs_cli.json().Add("snapshot_content_version", snap.content_version);
     obs_cli.json().Add("compactions", compact.compactions);
+  }
+  if (sketch_clusters > 0) {
+    const pbfs::QueryEngineStats stats = engine.Stats();
+    const pbfs::SketchRebuilder::Stats sketch = engine.SketchStats();
+    std::printf("sketch: %llu hits, %llu fallbacks, %llu stale, "
+                "%llu rebuilds (content v%llu)\n",
+                static_cast<unsigned long long>(stats.sketch_hits),
+                static_cast<unsigned long long>(stats.sketch_fallbacks),
+                static_cast<unsigned long long>(stats.sketch_stale),
+                static_cast<unsigned long long>(sketch.rebuilds),
+                static_cast<unsigned long long>(sketch.content_version));
+    obs_cli.json().Add("sketch_hits", stats.sketch_hits);
+    obs_cli.json().Add("sketch_fallbacks", stats.sketch_fallbacks);
+    obs_cli.json().Add("sketch_stale", stats.sketch_stale);
+    obs_cli.json().Add("sketch_rebuilds", sketch.rebuilds);
+    obs_cli.json().Add("sketch_bytes", sketch.sketch_bytes);
   }
   obs_cli.json().Add("clients", clients);
   obs_cli.json().Add("queries_submitted", total);

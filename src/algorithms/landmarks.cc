@@ -3,8 +3,6 @@
 #include <algorithm>
 
 #include "bfs/multi_source.h"
-#include "graph/components.h"
-#include "graph/labeling.h"
 #include "util/check.h"
 
 namespace pbfs {
@@ -19,20 +17,8 @@ LandmarkIndex LandmarkIndex::Build(const Graph& graph, Executor* executor,
   index.num_vertices_ = n;
   if (n == 0) return index;
 
-  switch (options.strategy) {
-    case LandmarkStrategy::kRandom: {
-      index.landmarks_ =
-          PickSources(graph, options.num_landmarks, options.seed);
-      break;
-    }
-    case LandmarkStrategy::kHighestDegree: {
-      std::vector<Vertex> order = VerticesByDegreeDescending(graph);
-      const int count =
-          std::min<int>(options.num_landmarks, static_cast<int>(n));
-      index.landmarks_.assign(order.begin(), order.begin() + count);
-      break;
-    }
-  }
+  index.landmarks_ = SelectSeeds(graph, options.num_landmarks,
+                                 options.strategy, options.seed);
 
   const size_t k = index.landmarks_.size();
   index.levels_.assign(k * static_cast<size_t>(n), kLevelUnreached);
@@ -57,18 +43,10 @@ DistanceBounds LandmarkIndex::Query(Vertex s, Vertex t) const {
   }
   for (size_t l = 0; l < landmarks_.size(); ++l) {
     const Level* row = levels_.data() + l * num_vertices_;
-    const Level ds = row[s];
-    const Level dt = row[t];
-    if (ds == kLevelUnreached || dt == kLevelUnreached) continue;
-    const Level sum = static_cast<Level>(ds + dt);
-    const Level diff = ds > dt ? ds - dt : dt - ds;
-    if (sum < bounds.upper) bounds.upper = sum;
-    if (diff > bounds.lower) bounds.lower = diff;
+    // A landmark is a single-member cluster: detour slack 0.
+    TightenBounds(bounds, row[s], row[t], /*upper_slack=*/0);
   }
-  if (bounds.upper != kLevelUnreached && bounds.upper > 0) {
-    // Distinct connected vertices are at least one hop apart.
-    bounds.lower = std::max<Level>(bounds.lower, 1);
-  }
+  ClampDistinctPair(bounds);
   return bounds;
 }
 

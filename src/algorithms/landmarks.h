@@ -8,6 +8,13 @@
 //   lower bound:  max over L of |d(L, s) - d(L, t)|
 // (triangle inequality; bounds are exact when a shortest path passes
 // through / aligns with a landmark).
+//
+// Seed selection and the bound math are shared with the Cluster-BFS
+// sketch subsystem (sketch/seed_select.h, sketch/bounds.h) — a
+// landmark is the degenerate single-member cluster with detour slack
+// 0. The sketches in sketch/sketch.h supersede this index for the
+// engine's point-to-point query path; this stays as the minimal
+// standalone oracle.
 #ifndef PBFS_ALGORITHMS_LANDMARKS_H_
 #define PBFS_ALGORITHMS_LANDMARKS_H_
 
@@ -17,26 +24,20 @@
 #include "bfs/common.h"
 #include "graph/graph.h"
 #include "sched/executor.h"
+#include "sketch/bounds.h"
+#include "sketch/seed_select.h"
 
 namespace pbfs {
 
-enum class LandmarkStrategy {
-  kRandom,        // uniform among non-isolated vertices
-  kHighestDegree  // hubs cover many shortest paths in small worlds
-};
+// Landmark sampling is sketch seed selection with one seed per
+// landmark; the enumerator names predate the shared implementation.
+using LandmarkStrategy = SeedStrategy;
 
 struct LandmarkOptions {
   int num_landmarks = 16;
   LandmarkStrategy strategy = LandmarkStrategy::kHighestDegree;
   int width = 64;  // MS-PBFS batch width
   uint64_t seed = 1;
-};
-
-struct DistanceBounds {
-  Level lower = 0;
-  Level upper = kLevelUnreached;  // kLevelUnreached = no connection seen
-
-  bool exact() const { return lower == upper; }
 };
 
 // Precomputed landmark index. Memory: num_landmarks * n levels.

@@ -3,9 +3,12 @@
 // A Query is one independent traversal request from one client: the
 // engine answers it from a full level array computed either by a
 // coalesced MS-PBFS batch or by a single-source fallback run (see
-// query_engine.h). The four types cover the BFS applications named in
+// query_engine.h). The types cover the BFS applications named in
 // the paper's introduction: full distance labelings, point-to-point
-// distances, reachability, and k-hop neighborhood enumeration.
+// distances, reachability, and k-hop neighborhood enumeration — plus
+// kPointToPointDistance, the sketch-served single-pair distance that
+// resolves without a traversal when the engine's Cluster-BFS sketch
+// bounds pinch (see sketch/sketch.h and docs/sketches.md).
 #ifndef PBFS_ENGINE_QUERY_H_
 #define PBFS_ENGINE_QUERY_H_
 
@@ -14,6 +17,7 @@
 
 #include "bfs/common.h"
 #include "graph/types.h"
+#include "sketch/bounds.h"
 
 namespace pbfs {
 
@@ -22,6 +26,7 @@ enum class QueryType {
   kDistances,     // hop distance to each listed target
   kReachability,  // one reachable flag per listed target
   kKHop,          // cumulative neighborhood sizes for hops 0..max_hops
+  kPointToPointDistance,  // distance to targets[0], sketch fast path
 };
 
 const char* QueryTypeName(QueryType type);
@@ -30,7 +35,15 @@ struct Query {
   QueryType type = QueryType::kLevels;
   Vertex source = 0;
   // Targets for kDistances / kReachability; may be empty, may repeat.
+  // kPointToPointDistance requires exactly one target.
   std::vector<Vertex> targets;
+  // kPointToPointDistance: the widest lower/upper bound gap the caller
+  // accepts from the sketch fast path. 0 (the default) demands the
+  // exact distance — the query still resolves inline when the sketch
+  // bounds pinch, and otherwise traverses. Larger values trade
+  // accuracy for microsecond answers; the served distance is then the
+  // upper bound, at most `tolerance` above the truth.
+  Level tolerance = 0;
   // Traversal radius for kKHop. Batches consisting solely of k-hop
   // queries are traversed bounded (options.max_level), so small radii
   // stay cheap even through the engine.
@@ -67,6 +80,16 @@ struct QueryResult {
   std::vector<uint64_t> khop_sizes;
   // kLevels only: vertices with a finite level (including the source).
   uint64_t vertices_reached = 0;
+  // kPointToPointDistance: the served hop distance — exact after a
+  // traversal, the sketch upper bound (within Query::tolerance of the
+  // truth) when sketch_resolved. kLevelUnreached when unreachable.
+  Level distance = kLevelUnreached;
+  // kPointToPointDistance: bounds bracketing the true distance at the
+  // query's snapshot (lower == upper == distance on the exact path).
+  DistanceBounds distance_bounds;
+  // kPointToPointDistance: true when a fresh sketch answered inline
+  // without a traversal or a batch slot.
+  bool sketch_resolved = false;
   // Content version of the graph snapshot the query was answered from
   // (the snapshot current at admission time; see graph/snapshot.h).
   // 0 for queries that never reached a traversal (cancelled, expired,

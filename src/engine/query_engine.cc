@@ -46,6 +46,8 @@ const char* QueryTypeName(QueryType type) {
       return "reachability";
     case QueryType::kKHop:
       return "khop";
+    case QueryType::kPointToPointDistance:
+      return "p2p_distance";
   }
   return "unknown";
 }
@@ -71,6 +73,7 @@ std::string QueryEngineStats::ToString() const {
       "queries: %llu admitted, %llu ok, %llu cancelled, %llu expired, "
       "%llu invalid | dispatches: %llu batches, %llu single | "
       "updates: %llu batches, %llu edges | "
+      "sketch: %llu hits, %llu fallbacks, %llu stale | "
       "occupancy: mean %.2f (min %.2f, max %.2f) | "
       "coalesce wait: mean %.3f ms (max %.3f ms) | "
       "latency: p50 %.3f ms, p99 %.3f ms, max %.3f ms",
@@ -83,6 +86,9 @@ std::string QueryEngineStats::ToString() const {
       static_cast<unsigned long long>(single_runs),
       static_cast<unsigned long long>(update_batches),
       static_cast<unsigned long long>(edge_updates_applied),
+      static_cast<unsigned long long>(sketch_hits),
+      static_cast<unsigned long long>(sketch_fallbacks),
+      static_cast<unsigned long long>(sketch_stale),
       batch_occupancy.mean(), batch_occupancy.min(), batch_occupancy.max(),
       coalesce_wait_ms.mean(), coalesce_wait_ms.max(),
       latency_ms.Quantile(0.5), latency_ms.Quantile(0.99), latency_ms.max());
@@ -106,6 +112,22 @@ QueryEngine::QueryEngine(const Graph& graph, Executor* executor,
   // Resolve the batch variant eagerly at the smallest width so a typo'd
   // name fails at construction, not on the first wide burst.
   PBFS_CHECK(RunnerForWidth(kSupportedWidths[0]) != nullptr);
+  if (options_.enable_sketches) {
+    Executor* sketch_exec;
+    if (options_.sketch_workers > 1) {
+      sketch_pool_ = std::make_unique<WorkerPool>(WorkerPool::Options{
+          .num_workers = options_.sketch_workers, .pin_threads = false});
+      sketch_exec = sketch_pool_.get();
+    } else {
+      sketch_serial_ = std::make_unique<SerialExecutor>();
+      sketch_exec = sketch_serial_.get();
+    }
+    rebuilder_ = std::make_unique<SketchRebuilder>(
+        &snapshots_, sketch_exec,
+        SketchRebuilderOptions{
+            .sketch = options_.sketch,
+            .debug_delay_ms = options_.sketch_debug_delay_ms});
+  }
   dispatcher_ = std::thread([this] { DispatcherMain(); });
 }
 
@@ -122,7 +144,11 @@ QueryEngine::~QueryEngine() {
   work_cv_.notify_all();
   dispatcher_.join();
   // After the dispatcher no traversal can pin new snapshots; stop the
-  // compactor (joins its in-flight cycle) before the manager goes away.
+  // rebuilder and compactor (each joins its in-flight cycle) before
+  // the manager goes away.
+  rebuilder_.reset();
+  sketch_pool_.reset();
+  sketch_serial_.reset();
   {
     std::lock_guard<std::mutex> lock(compactor_mu_);
     compactor_.reset();
@@ -156,16 +182,75 @@ QueryEngine::Submission QueryEngine::Submit(Query query) {
 #endif
     return submission;
   }
-  ++outstanding_;
-  PendingQuery pending{submission.id, std::move(query), std::move(promise),
-                       NowNanos(), SnapshotManager::Ref{}};
   // Pinning under mutex_ (lock order: engine mutex_ -> snapshot mu_)
   // makes snapshot versions monotone in queue order, so the dispatcher's
   // same-version batching never splits more than one version boundary.
-  pending.snapshot = snapshots_.Pin();
+  SnapshotManager::Ref snapshot = snapshots_.Pin();
+  const int64_t submit_ns = NowNanos();
+  Level bound_hint = kMaxLevel;
+  if (query.type == QueryType::kPointToPointDistance &&
+      rebuilder_ != nullptr && IsValid(query) &&
+      TryAnswerFromSketchLocked(query, snapshot, submission.id, submit_ns,
+                                promise, &bound_hint)) {
+    // Answered inline from a fresh sketch: no batch slot, no
+    // outstanding_ — the query was never pending.
+    return submission;
+  }
+  ++outstanding_;
+  PendingQuery pending{submission.id, std::move(query), std::move(promise),
+                       submit_ns, std::move(snapshot), bound_hint};
   pending_.push_back(std::move(pending));
   work_cv_.notify_one();
   return submission;
+}
+
+bool QueryEngine::TryAnswerFromSketchLocked(
+    const Query& query, const SnapshotManager::Ref& snapshot, uint64_t id,
+    int64_t submit_ns, std::promise<QueryResult>& promise,
+    Level* bound_hint) {
+  (void)id;
+  std::shared_ptr<const ClusterSketch> sketch = rebuilder_->Current();
+  if (sketch == nullptr ||
+      sketch->content_version() != snapshot->content_version()) {
+    // No sketch yet, or it was built for a different edge set than this
+    // query's snapshot: never answer from it — degrade to the exact
+    // traversal path instead.
+    ++stats_.sketch_stale;
+    return false;
+  }
+  const DistanceBounds bounds = sketch->Query(query.source, query.targets[0]);
+  if (bounds.upper != kLevelUnreached) {
+    stats_.sketch_bound_gap.Add(
+        static_cast<double>(bounds.upper - bounds.lower));
+  }
+  if (bounds.upper == kLevelUnreached ||
+      bounds.upper - bounds.lower > query.tolerance) {
+    // Fresh but too loose for this query's tolerance (or no cluster
+    // connects the pair): traverse, with the upper bound capping the
+    // traversal radius.
+    ++stats_.sketch_fallbacks;
+    if (bounds.upper != kLevelUnreached) *bound_hint = bounds.upper;
+    return false;
+  }
+  ++stats_.sketch_hits;
+  ++stats_.queries_completed;
+  QueryResult result;
+  result.status = QueryStatus::kOk;
+  result.distance = bounds.upper;
+  result.distance_bounds = bounds;
+  result.sketch_resolved = true;
+  result.snapshot_version = snapshot->content_version();
+  const int64_t done_ns = NowNanos();
+  const double latency_ms = static_cast<double>(done_ns - submit_ns) / 1e6;
+  stats_.latency_ms.Add(latency_ms);
+#ifdef PBFS_TRACING
+  latency_windows_[static_cast<int>(query.type)].Add(latency_ms, done_ns);
+#endif
+  promise.set_value(std::move(result));
+#ifdef PBFS_TRACING
+  TraceQueryDone(id, QueryStatus::kOk);
+#endif
+  return true;
 }
 
 bool QueryEngine::Cancel(uint64_t id) {
@@ -232,10 +317,27 @@ uint64_t QueryEngine::ApplyUpdates(std::span<const EdgeUpdate> updates) {
     std::lock_guard<std::mutex> lock(compactor_mu_);
     compactor_->Notify();
   }
+  // The published sketch is now stale; p2p queries admitted before the
+  // rebuild finishes fall back to exact traversals.
+  if (rebuilder_ != nullptr) rebuilder_->Notify();
 #ifdef PBFS_TRACING
   span.AddArg("version", version);
 #endif
   return version;
+}
+
+void QueryEngine::WaitSketchIdle() {
+  if (rebuilder_ != nullptr) rebuilder_->WaitIdle();
+}
+
+SketchRebuilder::Stats QueryEngine::SketchStats() const {
+  if (rebuilder_ == nullptr) return SketchRebuilder::Stats{};
+  return rebuilder_->GetStats();
+}
+
+std::shared_ptr<const ClusterSketch> QueryEngine::CurrentSketch() const {
+  if (rebuilder_ == nullptr) return nullptr;
+  return rebuilder_->Current();
 }
 
 void QueryEngine::WaitCompactorIdle() {
@@ -275,6 +377,10 @@ void QueryEngine::CompleteLocked(PendingQuery& pending, QueryStatus status) {
 bool QueryEngine::IsValid(const Query& query) const {
   const Vertex n = num_vertices_;
   if (query.source >= n) return false;
+  if (query.type == QueryType::kPointToPointDistance &&
+      query.targets.size() != 1) {
+    return false;
+  }
   for (Vertex t : query.targets) {
     if (t >= n) return false;
   }
@@ -438,15 +544,22 @@ int QueryEngine::ExecuteBatch(std::vector<PendingQuery>& batch) {
   batch_span.AddArg("snapshot", content_version);
 #endif
   std::vector<Vertex> sources(count);
-  // Bounded traversal when every query in the batch is radius-bounded
-  // (k-hop): the batch only travels as far as its widest radius.
+  // Bounded traversal when every query in the batch is radius-bounded:
+  // k-hop queries bound by their radius, sketch-fallback p2p queries by
+  // the sketch upper bound captured at admission (the true distance
+  // cannot exceed it).
   Level needed = 0;
   double inject_delay_ms = 0;
   for (size_t i = 0; i < count; ++i) {
     const Query& q = batch[i].query;
     sources[i] = q.source;
-    needed = std::max(needed,
-                      q.type == QueryType::kKHop ? q.max_hops : kMaxLevel);
+    Level radius = kMaxLevel;
+    if (q.type == QueryType::kKHop) {
+      radius = q.max_hops;
+    } else if (q.type == QueryType::kPointToPointDistance) {
+      radius = batch[i].bound_hint;
+    }
+    needed = std::max(needed, radius);
     inject_delay_ms = std::max(inject_delay_ms, q.debug_delay_ms);
   }
   if (inject_delay_ms > 0) {
@@ -519,6 +632,15 @@ QueryResult QueryEngine::ExtractResult(const Query& query,
       result.khop_sizes = KHopSizesFromLevels(
           {row, static_cast<size_t>(n)}, query.max_hops);
       break;
+    case QueryType::kPointToPointDistance: {
+      // Exact path (sketch miss, stale sketch, or sketches disabled):
+      // the traversal pins the bounds on the true distance.
+      const Level distance = row[query.targets[0]];
+      result.distance = distance;
+      result.distance_bounds.lower = distance;
+      result.distance_bounds.upper = distance;
+      break;
+    }
   }
   return result;
 }
@@ -551,8 +673,10 @@ void QueryEngine::ExportLiveMetrics(obs::MetricsRegistry* registry) {
 
 void QueryEngine::CollectLiveMetrics(obs::ExpositionWriter& writer) const {
   const int64_t now = NowNanos();
-  uint64_t counter_values[9];
+  uint64_t counter_values[12];
   double queue_depth, inflight;
+  Histogram bound_gap{/*min_bound=*/1.0, /*growth=*/2.0,
+                      /*num_log_buckets=*/12};
   obs::RollingWindow::Stats latency[kNumQueryTypes];
   obs::RollingWindow::Stats occupancy;
   {
@@ -566,11 +690,16 @@ void QueryEngine::CollectLiveMetrics(obs::ExpositionWriter& writer) const {
     counter_values[6] = stats_.single_runs;
     counter_values[7] = stats_.update_batches;
     counter_values[8] = stats_.edge_updates_applied;
+    counter_values[9] = stats_.sketch_hits;
+    counter_values[10] = stats_.sketch_fallbacks;
+    counter_values[11] = stats_.sketch_stale;
+    bound_gap = stats_.sketch_bound_gap;
     queue_depth = static_cast<double>(pending_.size());
     inflight = static_cast<double>(outstanding_);
   }
   const SnapshotStats snapshot = snapshots_.GetStats();
   const Compactor::Stats compaction = CompactorStats();
+  const SketchRebuilder::Stats sketch = SketchStats();
   // The rolling windows carry their own locks; read them outside
   // mutex_ so a scrape never extends the dispatcher's critical section.
   for (int t = 0; t < kNumQueryTypes; ++t) {
@@ -578,7 +707,7 @@ void QueryEngine::CollectLiveMetrics(obs::ExpositionWriter& writer) const {
   }
   occupancy = occupancy_window_.WindowStats(now);
 
-  static const char* const kCounterNames[9] = {
+  static const char* const kCounterNames[12] = {
       "pbfs_engine_queries_admitted_total",
       "pbfs_engine_queries_completed_total",
       "pbfs_engine_queries_cancelled_total",
@@ -587,8 +716,11 @@ void QueryEngine::CollectLiveMetrics(obs::ExpositionWriter& writer) const {
       "pbfs_engine_dispatch_batches_total",
       "pbfs_engine_dispatch_singles_total",
       "pbfs_engine_update_batches_total",
-      "pbfs_engine_edge_updates_total"};
-  static const char* const kCounterHelp[9] = {
+      "pbfs_engine_edge_updates_total",
+      "pbfs_sketch_hits_total",
+      "pbfs_sketch_fallbacks_total",
+      "pbfs_sketch_stale_total"};
+  static const char* const kCounterHelp[12] = {
       "Queries accepted by Submit().",
       "Queries completed with status ok.",
       "Queries completed as cancelled.",
@@ -597,8 +729,13 @@ void QueryEngine::CollectLiveMetrics(obs::ExpositionWriter& writer) const {
       "Multi-query coalesced dispatches.",
       "Lone-query fallback dispatches.",
       "ApplyUpdates() batches published.",
-      "Edge updates across all published batches."};
-  for (int i = 0; i < 9; ++i) {
+      "Edge updates across all published batches.",
+      "Point-to-point queries answered inline from a fresh sketch.",
+      "Point-to-point queries traversed because the sketch bounds "
+      "exceeded the query's tolerance.",
+      "Point-to-point queries traversed because no sketch matched "
+      "their snapshot's content version."};
+  for (int i = 0; i < 12; ++i) {
     writer.BeginFamily(kCounterNames[i], kCounterHelp[i], "counter");
     writer.Sample(kCounterNames[i], {},
                   static_cast<double>(counter_values[i]));
@@ -658,6 +795,44 @@ void QueryEngine::CollectLiveMetrics(obs::ExpositionWriter& writer) const {
                      "gauge");
   writer.Sample("pbfs_engine_compaction_duration_ms", {},
                 compaction.last_duration_ms);
+
+  // Sketch surfaces (see docs/sketches.md). Emitted even when sketches
+  // are disabled (all zero) so dashboards and the exposition smoke can
+  // rely on the families existing.
+  writer.BeginFamily("pbfs_sketch_rebuilds_total",
+                     "Sketch rebuild cycles completed.", "counter");
+  writer.Sample("pbfs_sketch_rebuilds_total", {},
+                static_cast<double>(sketch.rebuilds));
+  writer.BeginFamily("pbfs_sketch_rebuild_duration_ms",
+                     "Duration of the most recent sketch rebuild.",
+                     "gauge");
+  writer.Sample("pbfs_sketch_rebuild_duration_ms", {},
+                sketch.last_build_ms);
+  writer.BeginFamily("pbfs_sketch_content_version",
+                     "Content version the published sketch was built "
+                     "from (0 until the first build).",
+                     "gauge");
+  writer.Sample("pbfs_sketch_content_version", {},
+                static_cast<double>(sketch.content_version));
+  writer.BeginFamily("pbfs_sketch_bytes",
+                     "Bytes of the published sketch store.", "gauge");
+  writer.Sample("pbfs_sketch_bytes", {},
+                static_cast<double>(sketch.sketch_bytes));
+  const uint64_t consulted = counter_values[9] + counter_values[10];
+  writer.BeginFamily("pbfs_sketch_hit_ratio",
+                     "Fraction of fresh-sketch consultations answered "
+                     "inline (hits / (hits + fallbacks)).",
+                     "gauge");
+  writer.Sample("pbfs_sketch_hit_ratio", {},
+                consulted > 0 ? static_cast<double>(counter_values[9]) /
+                                    static_cast<double>(consulted)
+                              : 0.0);
+  writer.BeginFamily("pbfs_sketch_bound_gap",
+                     "Sketch bound gap (upper - lower) per "
+                     "point-to-point query that consulted a fresh "
+                     "sketch.",
+                     "histogram");
+  writer.HistogramSamples("pbfs_sketch_bound_gap", {}, bound_gap);
 
   // Windowed (not lifetime) quantiles: the whole point of the rolling
   // windows. Types with no samples in the window emit only _sum/_count

@@ -53,6 +53,7 @@
 #include "graph/graph.h"
 #include "graph/snapshot.h"
 #include "sched/executor.h"
+#include "sketch/rebuilder.h"
 #include "util/stats.h"
 
 #ifdef PBFS_TRACING
@@ -86,6 +87,19 @@ struct QueryEngineOptions {
   int compactor_workers = 2;
   // Fault injection forwarded to CompactorOptions::debug_delay_ms.
   double compactor_debug_delay_ms = 0;
+  // Cluster-BFS distance sketches (sketch/sketch.h): when enabled, a
+  // background SketchRebuilder keeps a sketch of the current snapshot,
+  // and kPointToPointDistance queries whose bounds satisfy their
+  // tolerance resolve inline in Submit() — no traversal, no batch
+  // slot. Disabled by default: p2p queries then always traverse.
+  bool enable_sketches = false;
+  SketchOptions sketch;
+  // Workers in the rebuilder's private pool; <= 1 rebuilds on a
+  // SerialExecutor instead.
+  int sketch_workers = 2;
+  // Fault injection forwarded to SketchRebuilderOptions::debug_delay_ms
+  // (widens the stale-sketch window deterministically in tests).
+  double sketch_debug_delay_ms = 0;
   // Traversal tuning applied to every dispatch. max_level acts as an
   // engine-wide radius cap; k-hop-only batches tighten it further.
   BfsOptions bfs;
@@ -102,6 +116,14 @@ struct QueryEngineStats {
   uint64_t single_runs = 0;   // lone-query fallback dispatches
   uint64_t update_batches = 0;        // ApplyUpdates calls
   uint64_t edge_updates_applied = 0;  // EdgeUpdates across those calls
+  // Point-to-point sketch path: hits resolved inline from a fresh
+  // sketch; fallbacks traversed because the bound gap exceeded the
+  // query's tolerance; stale = no sketch yet or its content_version
+  // lagged the query's snapshot (also traversed — never answered from
+  // an outdated sketch).
+  uint64_t sketch_hits = 0;
+  uint64_t sketch_fallbacks = 0;
+  uint64_t sketch_stale = 0;
   // Queries per batch slot (batch size / chosen width), one sample per
   // multi-query dispatch. Mean occupancy near 1 means coalescing is
   // filling the bitset widths it pays for.
@@ -113,6 +135,11 @@ struct QueryEngineStats {
   // buckets from 1 us up; quantiles via Histogram::Quantile.
   Histogram latency_ms{/*min_bound=*/1e-3, /*growth=*/2.0,
                        /*num_log_buckets=*/32};
+  // Sketch bound gap (upper - lower) per p2p query that consulted a
+  // fresh sketch, hits and fallbacks alike (fallbacks with an
+  // unreached upper bound are skipped — the gap is undefined).
+  Histogram sketch_bound_gap{/*min_bound=*/1.0, /*growth=*/2.0,
+                             /*num_log_buckets=*/12};
 
   std::string ToString() const;
 };
@@ -161,10 +188,20 @@ class QueryEngine {
   // delta into a flat CSR. No-op when ApplyUpdates was never called.
   void WaitCompactorIdle();
 
+  // Thread-safe. Blocks until the sketch rebuilder has published a
+  // sketch current as of some recent snapshot. No-op when sketches are
+  // disabled.
+  void WaitSketchIdle();
+
   QueryEngineStats Stats() const;
   SnapshotStats SnapshotInfo() const;
   // Zero-valued when the compactor was never started.
   Compactor::Stats CompactorStats() const;
+  // Zero-valued when sketches are disabled.
+  SketchRebuilder::Stats SketchStats() const;
+  // The rebuilder's published sketch; null when sketches are disabled
+  // or the first build hasn't finished. Thread-safe.
+  std::shared_ptr<const ClusterSketch> CurrentSketch() const;
 
   const QueryEngineOptions& options() const { return options_; }
 
@@ -201,6 +238,10 @@ class QueryEngine {
     // The snapshot current at admission; the whole batch containing
     // this query traverses it.
     SnapshotManager::Ref snapshot;
+    // kPointToPointDistance fallback: the sketch upper bound captured
+    // at admission caps the traversal radius (kMaxLevel = unbounded —
+    // no fresh sketch, or no cluster connecting the pair).
+    Level bound_hint = kMaxLevel;
   };
 
   void DispatcherMain();
@@ -222,6 +263,16 @@ class QueryEngine {
   void CompleteLocked(PendingQuery& pending, QueryStatus status);
   // Starts the compactor (and its private pool) on first use.
   void EnsureCompactorStarted();
+  // The sketch fast path, called by Submit() under mutex_ for valid
+  // p2p queries. True when the query was answered inline (promise
+  // fulfilled, counters and latency recorded, never enqueued); false
+  // when it must traverse — *bound_hint then carries the sketch upper
+  // bound when a fresh sketch was consulted.
+  bool TryAnswerFromSketchLocked(const Query& query,
+                                 const SnapshotManager::Ref& snapshot,
+                                 uint64_t id, int64_t submit_ns,
+                                 std::promise<QueryResult>& promise,
+                                 Level* bound_hint);
 
 #ifdef PBFS_TRACING
   // Appends the engine's exposition families. Called by the registered
@@ -243,6 +294,14 @@ class QueryEngine {
   std::unique_ptr<WorkerPool> compactor_pool_;
   std::unique_ptr<SerialExecutor> compactor_serial_;
   std::unique_ptr<Compactor> compactor_;
+
+  // Sketch machinery, created in the constructor when
+  // options_.enable_sketches (the first build starts immediately in
+  // the background). Immutable pointers after construction; the
+  // rebuilder is internally synchronized.
+  std::unique_ptr<WorkerPool> sketch_pool_;
+  std::unique_ptr<SerialExecutor> sketch_serial_;
+  std::unique_ptr<SketchRebuilder> rebuilder_;
 
   // Dispatcher-thread-only state: kernel instances cached per width and
   // bound to runners_snapshot_'s graph, plus the reusable batched level
@@ -271,7 +330,7 @@ class QueryEngine {
   // Rolling windows behind the windowed quantiles: one latency window
   // per query type plus one for batch occupancy. Internally locked;
   // written by the dispatcher, read at scrape time.
-  static constexpr int kNumQueryTypes = 4;
+  static constexpr int kNumQueryTypes = 5;
   obs::RollingWindow latency_windows_[kNumQueryTypes];
   obs::RollingWindow occupancy_window_;
   obs::MetricsRegistry* live_registry_ = nullptr;  // set by ExportLiveMetrics

@@ -1,0 +1,58 @@
+// Triangle-inequality distance bounds — the one shared implementation
+// behind every sketch-style oracle in the tree (the landmark index in
+// algorithms/landmarks.h and the Cluster-BFS sketches in
+// sketch/sketch.h).
+//
+// Given distances ds = d(X, s) and dt = d(X, t) to some reference set
+// X, the triangle inequality yields
+//   upper bound:  ds + dt + slack
+//   lower bound:  |ds - dt|
+// where `slack` is an upper bound on the detour inside X: 0 for a
+// single landmark vertex, and for a cluster the within-cluster hop
+// distance between the member nearest s and the member nearest t
+// (bounded by the cluster diameter, or tighter when the Cluster-BFS
+// offset bitsets overlap — see sketch/sketch.h).
+#ifndef PBFS_SKETCH_BOUNDS_H_
+#define PBFS_SKETCH_BOUNDS_H_
+
+#include <cstdint>
+
+#include "bfs/common.h"
+
+namespace pbfs {
+
+struct DistanceBounds {
+  Level lower = 0;
+  Level upper = kLevelUnreached;  // kLevelUnreached = no connection seen
+
+  bool exact() const { return lower == upper; }
+};
+
+// Tightens `bounds` with one reference observation (ds, dt, slack).
+// No-op when either endpoint never reached the reference. Sums are
+// taken in 32-bit so a pair of near-kMaxLevel distances cannot wrap
+// into a bogus tight upper bound.
+inline void TightenBounds(DistanceBounds& bounds, Level ds, Level dt,
+                          uint32_t upper_slack) {
+  if (ds == kLevelUnreached || dt == kLevelUnreached) return;
+  const uint32_t sum =
+      static_cast<uint32_t>(ds) + static_cast<uint32_t>(dt) + upper_slack;
+  if (sum < bounds.upper) bounds.upper = static_cast<Level>(sum);
+  const Level diff = ds > dt ? static_cast<Level>(ds - dt)
+                             : static_cast<Level>(dt - ds);
+  if (diff > bounds.lower) bounds.lower = diff;
+}
+
+// Final clamp for a query between distinct vertices: if any reference
+// connects them they are connected, and distinct connected vertices are
+// at least one hop apart.
+inline void ClampDistinctPair(DistanceBounds& bounds) {
+  if (bounds.upper != kLevelUnreached && bounds.upper > 0 &&
+      bounds.lower < 1) {
+    bounds.lower = 1;
+  }
+}
+
+}  // namespace pbfs
+
+#endif  // PBFS_SKETCH_BOUNDS_H_

@@ -1,0 +1,70 @@
+// Point-to-point distance oracle over a ClusterSketch: answers (s, t)
+// from the sketch in O(num_clusters) when the bounds pinch or satisfy
+// the caller's tolerance, and otherwise falls back to one exact
+// *bounded* SMS-PBFS traversal — the sketch upper bound caps the
+// traversal radius, so even the slow path profits from the sketch.
+//
+// This is the standalone (bench / example / library) surface; the
+// query engine embeds the same sketch lookups inline in Submit() with
+// snapshot staleness checks on top (see engine/query_engine.h).
+#ifndef PBFS_SKETCH_ORACLE_H_
+#define PBFS_SKETCH_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bfs/registry.h"
+#include "sketch/sketch.h"
+
+namespace pbfs {
+
+class DistanceOracle {
+ public:
+  struct Result {
+    DistanceBounds bounds;
+    // True when the sketch alone satisfied the tolerance; false when an
+    // exact traversal ran (bounds are then pinched on the exact value).
+    bool sketch_resolved = false;
+    // The served distance: `bounds.upper` when sketch_resolved (at most
+    // `tolerance` above the true distance), exact otherwise.
+    // kLevelUnreached when unreachable.
+    Level distance = kLevelUnreached;
+  };
+
+  struct Stats {
+    uint64_t sketch_hits = 0;
+    uint64_t exact_fallbacks = 0;
+  };
+
+  // Sketch-only oracle: Resolve() works, Distance() has no graph to
+  // traverse and CHECK-fails on a fallback.
+  explicit DistanceOracle(std::shared_ptr<const ClusterSketch> sketch);
+
+  // Oracle with an exact fallback over `graph` (the graph the sketch
+  // was built from; borrowed, must outlive the oracle).
+  DistanceOracle(std::shared_ptr<const ClusterSketch> sketch,
+                 const Graph& graph, Executor* executor);
+
+  // Sketch-only resolution attempt: sketch_resolved is false when the
+  // bound gap exceeds `tolerance` and the caller should fall back.
+  // Thread-safe, never traverses.
+  Result Resolve(Vertex s, Vertex t, Level tolerance = 0) const;
+
+  // Resolve with automatic exact fallback. Not thread-safe (reuses one
+  // kernel instance and level buffer across calls).
+  Result Distance(Vertex s, Vertex t, Level tolerance = 0);
+
+  const ClusterSketch& sketch() const { return *sketch_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::shared_ptr<const ClusterSketch> sketch_;
+  std::unique_ptr<BfsVariantRunner> exact_;
+  std::vector<Level> levels_;
+  Stats stats_;
+};
+
+}  // namespace pbfs
+
+#endif  // PBFS_SKETCH_ORACLE_H_

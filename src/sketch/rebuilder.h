@@ -1,0 +1,96 @@
+// Background sketch refresh for dynamic graphs — the pin→build→swap
+// loop of graph/compactor.cc applied to Cluster-BFS sketches: whenever
+// notified, one background thread pins the current snapshot, builds a
+// fresh sketch tagged with that snapshot's content_version, and
+// publishes it atomically. Readers grab the published sketch through
+// Current() (a shared_ptr copy) and must compare its content_version
+// against their own snapshot's before trusting its bounds — a stale
+// sketch is never wrong-by-silence, only rejected (the engine then
+// degrades to the exact traversal path).
+#ifndef PBFS_SKETCH_REBUILDER_H_
+#define PBFS_SKETCH_REBUILDER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "graph/snapshot.h"
+#include "sched/executor.h"
+#include "sketch/sketch.h"
+
+namespace pbfs {
+
+struct SketchRebuilderOptions {
+  SketchOptions sketch;
+  // Test/ops fault injection: sleep this long inside each rebuild so
+  // staleness windows can be widened deterministically. 0 costs
+  // nothing.
+  double debug_delay_ms = 0;
+};
+
+class SketchRebuilder {
+ public:
+  // `snapshots` and `executor` are borrowed and must outlive the
+  // rebuilder. The executor must be dedicated to it (it runs
+  // concurrently with query traversals; QueryEngine gives it a small
+  // private pool). The thread starts immediately and builds the first
+  // sketch without waiting for a Notify().
+  SketchRebuilder(SnapshotManager* snapshots, Executor* executor,
+                  SketchRebuilderOptions options = {});
+  // Stops after the in-flight rebuild (if any); never blocks on new
+  // work.
+  ~SketchRebuilder();
+
+  SketchRebuilder(const SketchRebuilder&) = delete;
+  SketchRebuilder& operator=(const SketchRebuilder&) = delete;
+
+  // Wakes the background thread; it rebuilds until the published sketch
+  // matches the current snapshot's content_version. Cheap and
+  // thread-safe — call after every ApplyBatch.
+  void Notify();
+
+  // Blocks until the thread is idle with no pending notification (the
+  // published sketch is then current as of some recent snapshot).
+  void WaitIdle();
+
+  // The most recently published sketch; null until the first build
+  // completes. Thread-safe.
+  std::shared_ptr<const ClusterSketch> Current() const;
+
+  struct Stats {
+    uint64_t rebuilds = 0;
+    double last_build_ms = 0;
+    double total_build_ms = 0;
+    uint64_t sketch_bytes = 0;      // of the published sketch
+    uint64_t content_version = 0;   // of the published sketch
+  };
+  Stats GetStats() const;
+
+ private:
+  void Main();
+  // One pin->build->publish cycle. False when the published sketch is
+  // already current.
+  bool RunOnce();
+  bool StopRequested() const;
+
+  SnapshotManager* const snapshots_;
+  Executor* const executor_;
+  const SketchRebuilderOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  bool stop_ = false;
+  bool notified_ = true;  // build the first sketch unprompted
+  bool busy_ = false;
+  std::shared_ptr<const ClusterSketch> current_;
+  Stats stats_;
+
+  std::thread thread_;
+};
+
+}  // namespace pbfs
+
+#endif  // PBFS_SKETCH_REBUILDER_H_

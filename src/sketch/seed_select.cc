@@ -1,0 +1,28 @@
+#include "sketch/seed_select.h"
+
+#include <algorithm>
+
+#include "graph/components.h"
+#include "graph/labeling.h"
+#include "util/check.h"
+
+namespace pbfs {
+
+std::vector<Vertex> SelectSeeds(const Graph& graph, int count,
+                                SeedStrategy strategy, uint64_t seed) {
+  PBFS_CHECK(count > 0);
+  const Vertex n = graph.num_vertices();
+  if (n == 0) return {};
+  switch (strategy) {
+    case SeedStrategy::kRandom:
+      return PickSources(graph, count, seed);
+    case SeedStrategy::kHighestDegree: {
+      std::vector<Vertex> order = VerticesByDegreeDescending(graph);
+      order.resize(std::min<size_t>(static_cast<size_t>(count), order.size()));
+      return order;
+    }
+  }
+  return {};
+}
+
+}  // namespace pbfs

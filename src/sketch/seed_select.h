@@ -1,0 +1,30 @@
+// Seed selection for sketch-style oracles: picks the vertices that
+// anchor landmark rows (algorithms/landmarks.h) or Cluster-BFS seed
+// clusters (sketch/sketch.h). Factored out so both oracles share one
+// implementation of the sampling strategies.
+#ifndef PBFS_SKETCH_SEED_SELECT_H_
+#define PBFS_SKETCH_SEED_SELECT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace pbfs {
+
+enum class SeedStrategy {
+  kRandom,        // uniform among non-isolated vertices
+  kHighestDegree  // hubs cover many shortest paths in small worlds
+};
+
+// Up to `count` seed vertices. kRandom samples distinct non-isolated
+// vertices (fewer when the graph has fewer); kHighestDegree takes the
+// top of the degree order (padding with isolated vertices only once
+// every non-isolated one is taken, matching the legacy landmark
+// behavior).
+std::vector<Vertex> SelectSeeds(const Graph& graph, int count,
+                                SeedStrategy strategy, uint64_t seed);
+
+}  // namespace pbfs
+
+#endif  // PBFS_SKETCH_SEED_SELECT_H_

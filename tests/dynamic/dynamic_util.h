@@ -289,6 +289,25 @@ inline std::string DiffResult(const Graph& oracle_graph, const QuerySpec& spec,
       if (got.khop_sizes != expected) return "khop_sizes mismatch";
       break;
     }
+    case QueryType::kPointToPointDistance: {
+      // Sketch-resolved answers are bounded, not exact: check the
+      // bracket. Exact-path answers must match the oracle.
+      if (spec.targets.size() != 1) return "p2p target count mismatch";
+      const Level exact = levels[spec.targets[0]];
+      if (got.sketch_resolved) {
+        if (got.distance_bounds.lower > exact ||
+            (exact != kLevelUnreached &&
+             got.distance_bounds.upper < exact)) {
+          os << "p2p bounds [" << got.distance_bounds.lower << ", "
+             << got.distance_bounds.upper << "] exclude oracle=" << exact;
+          return os.str();
+        }
+      } else if (got.distance != exact) {
+        os << "p2p distance: oracle=" << exact << " got=" << got.distance;
+        return os.str();
+      }
+      break;
+    }
   }
   return {};
 }
