@@ -31,11 +31,20 @@
 // streams; sketch-resolvable ones answer inline without a batch slot
 // (pbfs_sketch_* series on /metrics; see docs/sketches.md).
 //
+// --listen-port=P serves the length-prefixed binary TCP protocol on
+// 127.0.0.1:P (0 picks an ephemeral port) with session FSMs and
+// deadline-aware admission in front of the engine, and drives the
+// client threads over real sockets (server::PbfsClient) instead of
+// direct Submit calls — the full network path, including shedding
+// under overload (kShed responses and pbfs_server_* metrics on
+// /metrics when --serve-metrics is also given). See docs/server.md.
+//
 //   ./engine_server_demo [--vertices_log2 16] [--clients 8]
 //                        [--queries_per_client 64] [--threads N]
 //                        [--run-seconds 0] [--serve-metrics PORT]
 //                        [--inject-slow-query-ms 0]
 //                        [--churn-edges-per-sec 0] [--sketch-clusters 0]
+//                        [--listen-port -1]
 
 #include <algorithm>
 #include <atomic>
@@ -43,6 +52,8 @@
 #include <csignal>
 #include <cstdio>
 #include <deque>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -50,6 +61,8 @@
 #include "graph/generators.h"
 #include "obs/obs_cli.h"
 #include "sched/worker_pool.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -97,6 +110,19 @@ pbfs::Query RandomQuery(pbfs::Rng& rng, pbfs::Vertex n, bool sketches) {
   return query;
 }
 
+// The same random workload, as a wire-protocol request.
+pbfs::server::QueryRequest WireRequest(const pbfs::Query& query,
+                                       uint64_t request_id) {
+  pbfs::server::QueryRequest req;
+  req.request_id = request_id;
+  req.type = query.type;
+  req.source = query.source;
+  req.targets = query.targets;
+  req.max_hops = query.max_hops;
+  req.tolerance = query.tolerance;
+  return req;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -108,6 +134,7 @@ int main(int argc, char** argv) {
   double inject_slow_query_ms = 0;
   int64_t churn_edges_per_sec = 0;
   int64_t sketch_clusters = 0;
+  int64_t listen_port = -1;
   pbfs::FlagParser flags(
       "Concurrent BFS query engine demo: multi-threaded clients, "
       "coalesced MS-PBFS batches, optional live telemetry server");
@@ -129,6 +156,10 @@ int main(int argc, char** argv) {
                  "enable Cluster-BFS distance sketches with this many "
                  "clusters and mix point-to-point distance queries into "
                  "the client streams (0 = disabled)");
+  flags.AddInt64("listen-port", &listen_port,
+                 "serve the binary TCP protocol on this loopback port "
+                 "(0 = ephemeral) and run the clients over real sockets "
+                 "(-1 = in-process Submit)");
   pbfs::obs::ObsCli obs_cli("engine_server_demo");
   obs_cli.Register(&flags);
   flags.Parse(argc, argv);
@@ -165,8 +196,27 @@ int main(int argc, char** argv) {
                 sketch.last_build_ms);
   }
 
+  // Network front-end (--listen-port >= 0): session FSMs + admission
+  // in front of the same engine, clients over real loopback sockets.
+  std::unique_ptr<pbfs::server::PbfsServer> server;
+  if (listen_port >= 0) {
+    pbfs::server::ServerOptions server_options;
+    server_options.port = static_cast<int>(listen_port);
+    server = std::make_unique<pbfs::server::PbfsServer>(&engine,
+                                                        server_options);
+    if (!server->Start()) {
+      std::fprintf(stderr, "failed to listen on port %lld\n",
+                   static_cast<long long>(listen_port));
+      return 1;
+    }
+    obs_cli.WatchServer(server.get());
+    std::printf("listening on 127.0.0.1:%d (binary frame protocol)\n",
+                server->port());
+  }
+
   std::atomic<uint64_t> ok{0};
   std::atomic<uint64_t> submitted{0};
+  std::atomic<uint64_t> shed{0};
   std::atomic<uint64_t> reached_sum{0};
   pbfs::Timer timer;
   std::vector<std::thread> client_threads;
@@ -174,6 +224,13 @@ int main(int argc, char** argv) {
     client_threads.emplace_back([&, c] {
       pbfs::Rng rng(static_cast<uint64_t>(c) + 1);
       const pbfs::Vertex n = graph.num_vertices();
+      pbfs::server::PbfsClient net_client;
+      if (server != nullptr &&
+          !net_client.Connect({.port = server->port()})) {
+        std::fprintf(stderr, "client %lld: connect failed\n",
+                     static_cast<long long>(c));
+        return;
+      }
       for (int64_t q = 0;; ++q) {
         if (g_stop.load(std::memory_order_relaxed)) break;
         if (run_seconds > 0) {
@@ -181,7 +238,30 @@ int main(int argc, char** argv) {
         } else if (q >= queries_per_client) {
           break;
         }
-        auto sub = engine.Submit(RandomQuery(rng, n, sketch_clusters > 0));
+        pbfs::Query query = RandomQuery(rng, n, sketch_clusters > 0);
+        if (server != nullptr) {
+          // Over the wire: encode, round-trip, decode. Overload comes
+          // back as a kShed response instead of queueing.
+          pbfs::server::QueryResponse resp;
+          std::string error;
+          if (!net_client.Call(
+                  WireRequest(query, static_cast<uint64_t>(q) + 1), &resp,
+                  &error)) {
+            std::fprintf(stderr, "client %lld: %s\n",
+                         static_cast<long long>(c), error.c_str());
+            break;
+          }
+          submitted.fetch_add(1, std::memory_order_relaxed);
+          if (resp.status == pbfs::QueryStatus::kOk) {
+            ok.fetch_add(1, std::memory_order_relaxed);
+            reached_sum.fetch_add(resp.vertices_reached,
+                                  std::memory_order_relaxed);
+          } else if (resp.status == pbfs::QueryStatus::kShed) {
+            shed.fetch_add(1, std::memory_order_relaxed);
+          }
+          continue;
+        }
+        auto sub = engine.Submit(std::move(query));
         submitted.fetch_add(1, std::memory_order_relaxed);
         pbfs::QueryResult result = sub.result.get();
         if (result.status == pbfs::QueryStatus::kOk) {
@@ -247,6 +327,29 @@ int main(int argc, char** argv) {
 
   for (std::thread& t : client_threads) t.join();
   const double elapsed_s = timer.ElapsedSeconds();
+  if (server != nullptr) {
+    const pbfs::server::ServerStats sstats = server->GetStats();
+    std::printf("server: %llu sessions, %llu frames rx, %llu shed "
+                "(%llu queue-full, %llu deadline), %llu backpressure "
+                "pauses, %llu protocol errors\n",
+                static_cast<unsigned long long>(sstats.sessions_opened),
+                static_cast<unsigned long long>(sstats.frames_rx),
+                static_cast<unsigned long long>(
+                    sstats.admission.shed_queue_full +
+                    sstats.admission.shed_deadline),
+                static_cast<unsigned long long>(
+                    sstats.admission.shed_queue_full),
+                static_cast<unsigned long long>(
+                    sstats.admission.shed_deadline),
+                static_cast<unsigned long long>(sstats.backpressure_events),
+                static_cast<unsigned long long>(sstats.protocol_errors));
+    obs_cli.json().Add("server_sessions", sstats.sessions_opened);
+    obs_cli.json().Add("server_shed",
+                       sstats.admission.shed_queue_full +
+                           sstats.admission.shed_deadline);
+    obs_cli.json().Add("queries_shed", shed.load());
+    server->Stop();  // withdraws its metrics collector
+  }
   // Graceful shutdown, signal or not: stop the churn, let the
   // compactor fold the last deltas in, and drain what is in flight —
   // no new queries are being admitted (clients joined).

@@ -64,6 +64,11 @@ enum class QueryStatus : uint8_t {
   kInvalid,           // source or a target out of [0, num_vertices)
   kCancelled,         // Cancel() before dispatch, or engine shutdown
   kDeadlineExceeded,  // deadline passed before dispatch
+  // Rejected by server-side admission control before reaching the
+  // engine: the bounded admission queue was full, or the estimated
+  // wait already exceeded the query's deadline (src/server/). The
+  // engine itself never produces this status.
+  kShed,
 };
 
 const char* QueryStatusName(QueryStatus status);

@@ -62,6 +62,8 @@ const char* QueryStatusName(QueryStatus status) {
       return "cancelled";
     case QueryStatus::kDeadlineExceeded:
       return "deadline_exceeded";
+    case QueryStatus::kShed:
+      return "shed";
   }
   return "unknown";
 }
@@ -363,6 +365,11 @@ void QueryEngine::CompleteLocked(PendingQuery& pending, QueryStatus status) {
       ++stats_.queries_invalid;
       break;
     case QueryStatus::kOk:
+      break;
+    case QueryStatus::kShed:
+      // Admission control sheds before Submit; a pending query can
+      // never complete with this status.
+      PBFS_CHECK(false);
       break;
   }
   pending.promise.set_value(std::move(result));

@@ -262,6 +262,22 @@ class ObsCli {
 #endif
   }
 
+  // Exports a network front-end's live metric families (the
+  // pbfs_server_* series from server::PbfsServer) on the registry.
+  // Duck-typed on ExportLiveMetrics(MetricsRegistry*) so the obs layer
+  // does not depend on the server layer (which already depends on
+  // obs). The server withdraws its collector in its own Stop(); stop
+  // it before Finish() as with WatchEngine.
+  template <typename ServerT>
+  void WatchServer(ServerT* server) {
+#ifdef PBFS_TRACING
+    if (!serving_live() || server == nullptr) return;
+    server->ExportLiveMetrics(&registry_);
+#else
+    (void)server;
+#endif
+  }
+
 #ifdef PBFS_TRACING
   // The live registry, for binaries registering their own metrics.
   MetricsRegistry* registry() { return &registry_; }

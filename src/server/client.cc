@@ -1,0 +1,141 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+
+namespace pbfs {
+namespace server {
+
+bool PbfsClient::Connect(const Options& options) {
+  Close();
+  options_ = options;
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  if (options_.recv_timeout_s > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(options_.recv_timeout_s);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (options_.recv_timeout_s - std::floor(options_.recv_timeout_s)) *
+        1e6);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Close();
+    return false;
+  }
+  return true;
+}
+
+void PbfsClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rx_.clear();
+}
+
+bool PbfsClient::Send(std::string_view encoded) {
+  if (fd_ < 0) return false;
+  size_t sent = 0;
+  while (sent < encoded.size()) {
+    const ssize_t n = ::send(fd_, encoded.data() + sent,
+                             encoded.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool PbfsClient::SendQuery(const QueryRequest& request) {
+  std::string encoded;
+  EncodeQueryRequest(request, &encoded);
+  return Send(encoded);
+}
+
+bool PbfsClient::SendUpdates(const UpdateRequest& request) {
+  std::string encoded;
+  EncodeUpdateRequest(request, &encoded);
+  return Send(encoded);
+}
+
+bool PbfsClient::ReadResponse(Response* out, std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return false;
+  }
+  char buf[64 * 1024];
+  for (;;) {
+    size_t consumed = 0;
+    const DecodeStatus s =
+        DecodeResponse(rx_, options_.max_frame_bytes, out, &consumed, error);
+    if (s == DecodeStatus::kOk) {
+      rx_.erase(0, consumed);
+      return true;
+    }
+    if (s != DecodeStatus::kNeedMore) return false;
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      rx_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (error != nullptr) {
+      *error = n == 0 ? "connection closed by server" : "recv failed/timeout";
+    }
+    return false;
+  }
+}
+
+bool PbfsClient::Call(const QueryRequest& request, QueryResponse* out,
+                      std::string* error) {
+  if (!SendQuery(request)) {
+    if (error != nullptr) *error = "send failed";
+    return false;
+  }
+  Response resp;
+  if (!ReadResponse(&resp, error)) return false;
+  if (resp.kind != MessageKind::kQuery ||
+      resp.query.request_id != request.request_id) {
+    if (error != nullptr) *error = "response does not match request";
+    return false;
+  }
+  *out = std::move(resp.query);
+  return true;
+}
+
+bool PbfsClient::ApplyUpdates(const UpdateRequest& request,
+                              UpdateResponse* out, std::string* error) {
+  if (!SendUpdates(request)) {
+    if (error != nullptr) *error = "send failed";
+    return false;
+  }
+  Response resp;
+  if (!ReadResponse(&resp, error)) return false;
+  if (resp.kind != MessageKind::kEdgeUpdates ||
+      resp.update.request_id != request.request_id) {
+    if (error != nullptr) *error = "response does not match request";
+    return false;
+  }
+  *out = resp.update;
+  return true;
+}
+
+}  // namespace server
+}  // namespace pbfs

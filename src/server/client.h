@@ -1,0 +1,66 @@
+// Minimal blocking client for the PBFS wire protocol.
+//
+// Used by the demo's socket mode, the server e2e tests, and the soak
+// harness. One connection, synchronous send, and a pull-based
+// ReadResponse that returns frames in the order the server queued
+// them — which is *completion* order, not request order (shed
+// responses return immediately, sketch-resolved point-to-point
+// queries finish before batched traversals, priorities reorder), so
+// pipelining callers must match on request_id.
+#ifndef PBFS_SERVER_CLIENT_H_
+#define PBFS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/protocol.h"
+
+namespace pbfs {
+namespace server {
+
+class PbfsClient {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;
+    // Blocking-read timeout (SO_RCVTIMEO); <= 0 waits forever.
+    double recv_timeout_s = 30;
+    size_t max_frame_bytes = kMaxResponseBytes;
+  };
+
+  PbfsClient() = default;
+  ~PbfsClient() { Close(); }
+  PbfsClient(const PbfsClient&) = delete;
+  PbfsClient& operator=(const PbfsClient&) = delete;
+
+  bool Connect(const Options& options);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Send pre-encoded frame bytes (handles partial writes/EINTR).
+  bool Send(std::string_view encoded);
+  bool SendQuery(const QueryRequest& request);
+  bool SendUpdates(const UpdateRequest& request);
+
+  // Block until one full response frame decodes. False on timeout,
+  // EOF, or protocol error (*error describes which).
+  bool ReadResponse(Response* out, std::string* error = nullptr);
+
+  // Synchronous round trips for non-pipelined callers. The connection
+  // must have no other responses outstanding.
+  bool Call(const QueryRequest& request, QueryResponse* out,
+            std::string* error = nullptr);
+  bool ApplyUpdates(const UpdateRequest& request, UpdateResponse* out,
+                    std::string* error = nullptr);
+
+ private:
+  int fd_ = -1;
+  Options options_;
+  std::string rx_;
+};
+
+}  // namespace server
+}  // namespace pbfs
+
+#endif  // PBFS_SERVER_CLIENT_H_

@@ -1,0 +1,380 @@
+#include "server/protocol.h"
+
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+namespace pbfs {
+namespace server {
+namespace {
+
+// ---- Little-endian append helpers ----
+
+// Unsigned wire representation of an integral or enum type (lazy, so
+// underlying_type is only instantiated for enums).
+template <typename T, typename = void>
+struct WireRep {
+  using type = T;
+};
+template <typename T>
+struct WireRep<T, std::enable_if_t<std::is_enum_v<T>>> {
+  using type = std::underlying_type_t<T>;
+};
+template <typename T>
+using WireUint = std::make_unsigned_t<typename WireRep<T>::type>;
+
+template <typename T>
+void PutInt(std::string* out, T value) {
+  static_assert(std::is_integral_v<T> || std::is_enum_v<T>);
+  const auto v = static_cast<WireUint<T>>(value);
+  for (size_t i = 0; i < sizeof(v); ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+// Reserves the 4-byte length prefix on construction and patches it on
+// Finish, so encoders write the payload straight into the output
+// string with no intermediate copy.
+class FrameWriter {
+ public:
+  explicit FrameWriter(std::string* out) : out_(out), start_(out->size()) {
+    PutInt<uint32_t>(out_, 0);  // placeholder
+  }
+  template <typename T>
+  void Put(T value) {
+    PutInt(out_, value);
+  }
+  void Finish() {
+    const size_t payload = out_->size() - start_ - 4;
+    const auto len = static_cast<uint32_t>(payload);
+    for (size_t i = 0; i < 4; ++i) {
+      (*out_)[start_ + i] = static_cast<char>((len >> (8 * i)) & 0xFF);
+    }
+  }
+
+ private:
+  std::string* out_;
+  size_t start_;
+};
+
+// ---- Bounds-checked little-endian reader over one payload ----
+
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view payload) : data_(payload) {}
+
+  template <typename T>
+  bool Get(T* out) {
+    using U = WireUint<T>;
+    if (data_.size() - pos_ < sizeof(U)) return false;
+    U v = 0;
+    for (size_t i = 0; i < sizeof(U); ++i) {
+      v |= static_cast<U>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += sizeof(U);
+    *out = static_cast<T>(v);
+    return true;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool Done() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// Shared frame-level scaffolding: checks the length prefix against the
+// buffer and the limit, and exposes the payload.
+DecodeStatus SplitFrame(std::string_view buffer, size_t max_frame_bytes,
+                        std::string_view* payload, size_t* frame_bytes,
+                        std::string* error) {
+  if (buffer.size() < 4) return DecodeStatus::kNeedMore;
+  uint32_t len = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(buffer[i])) << (8 * i);
+  }
+  if (len > max_frame_bytes) {
+    if (error != nullptr) {
+      *error = "frame length " + std::to_string(len) + " exceeds limit " +
+               std::to_string(max_frame_bytes);
+    }
+    return DecodeStatus::kOversized;
+  }
+  if (buffer.size() - 4 < len) return DecodeStatus::kNeedMore;
+  *payload = buffer.substr(4, len);
+  *frame_bytes = 4 + static_cast<size_t>(len);
+  return DecodeStatus::kOk;
+}
+
+DecodeStatus Malformed(std::string* error, const char* why) {
+  if (error != nullptr) *error = why;
+  return DecodeStatus::kMalformed;
+}
+
+}  // namespace
+
+const char* PriorityName(Priority priority) {
+  switch (priority) {
+    case Priority::kHigh:
+      return "high";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kLow:
+      return "low";
+  }
+  return "unknown";
+}
+
+const char* DecodeStatusName(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk:
+      return "ok";
+    case DecodeStatus::kNeedMore:
+      return "need_more";
+    case DecodeStatus::kMalformed:
+      return "malformed";
+    case DecodeStatus::kOversized:
+      return "oversized";
+  }
+  return "unknown";
+}
+
+bool operator==(const UpdateRequest& a, const UpdateRequest& b) {
+  if (a.request_id != b.request_id || a.updates.size() != b.updates.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.updates.size(); ++i) {
+    if (a.updates[i].u != b.updates[i].u || a.updates[i].v != b.updates[i].v ||
+        a.updates[i].insert != b.updates[i].insert) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---- Encoders ----
+
+void EncodeQueryRequest(const QueryRequest& msg, std::string* out) {
+  FrameWriter w(out);
+  w.Put(msg.request_id);
+  w.Put(MessageKind::kQuery);
+  // QueryType has no fixed underlying type; pin it to its one-byte
+  // wire representation explicitly.
+  w.Put(static_cast<uint8_t>(msg.type));
+  w.Put(msg.priority);
+  w.Put(msg.source);
+  w.Put(msg.deadline_ms);
+  w.Put(msg.max_hops);
+  w.Put(msg.tolerance);
+  w.Put(static_cast<uint32_t>(msg.targets.size()));
+  for (Vertex t : msg.targets) w.Put(t);
+  w.Finish();
+}
+
+void EncodeUpdateRequest(const UpdateRequest& msg, std::string* out) {
+  FrameWriter w(out);
+  w.Put(msg.request_id);
+  w.Put(MessageKind::kEdgeUpdates);
+  w.Put(static_cast<uint32_t>(msg.updates.size()));
+  for (const EdgeUpdate& u : msg.updates) {
+    w.Put(u.u);
+    w.Put(u.v);
+    w.Put(static_cast<uint8_t>(u.insert ? 1 : 0));
+  }
+  w.Finish();
+}
+
+void EncodeQueryResponse(const QueryResponse& msg, std::string* out) {
+  FrameWriter w(out);
+  w.Put(msg.request_id);
+  w.Put(MessageKind::kQuery);
+  w.Put(static_cast<uint8_t>(msg.type));  // see EncodeQueryRequest
+  w.Put(msg.status);
+  w.Put(static_cast<uint8_t>(msg.sketch_resolved ? 1 : 0));
+  w.Put(msg.snapshot_version);
+  w.Put(msg.distance);
+  w.Put(msg.bound_lower);
+  w.Put(msg.bound_upper);
+  w.Put(msg.vertices_reached);
+  w.Put(static_cast<uint32_t>(msg.levels.size()));
+  for (Level l : msg.levels) w.Put(l);
+  w.Put(static_cast<uint32_t>(msg.reachable.size()));
+  for (uint8_t r : msg.reachable) w.Put(r);
+  w.Put(static_cast<uint32_t>(msg.khop_sizes.size()));
+  for (uint64_t k : msg.khop_sizes) w.Put(k);
+  w.Finish();
+}
+
+void EncodeUpdateResponse(const UpdateResponse& msg, std::string* out) {
+  FrameWriter w(out);
+  w.Put(msg.request_id);
+  w.Put(MessageKind::kEdgeUpdates);
+  w.Put(msg.content_version);
+  w.Put(msg.num_applied);
+  w.Finish();
+}
+
+// ---- Decoders ----
+
+DecodeStatus DecodeRequest(std::string_view buffer, size_t max_frame_bytes,
+                           Request* out, size_t* consumed,
+                           std::string* error) {
+  std::string_view payload;
+  size_t frame_bytes = 0;
+  DecodeStatus s = SplitFrame(buffer, max_frame_bytes, &payload, &frame_bytes,
+                              error);
+  if (s != DecodeStatus::kOk) return s;
+
+  PayloadReader r(payload);
+  Request req;
+  uint64_t request_id = 0;
+  uint8_t kind = 0;
+  if (!r.Get(&request_id) || !r.Get(&kind)) {
+    return Malformed(error, "payload shorter than header");
+  }
+  switch (kind) {
+    case static_cast<uint8_t>(MessageKind::kQuery): {
+      req.kind = MessageKind::kQuery;
+      QueryRequest& q = req.query;
+      q.request_id = request_id;
+      uint8_t type = 0;
+      uint8_t priority = 0;
+      uint32_t num_targets = 0;
+      if (!r.Get(&type) || !r.Get(&priority) || !r.Get(&q.source) ||
+          !r.Get(&q.deadline_ms) || !r.Get(&q.max_hops) ||
+          !r.Get(&q.tolerance) || !r.Get(&num_targets)) {
+        return Malformed(error, "truncated query fields");
+      }
+      if (type > static_cast<uint8_t>(QueryType::kPointToPointDistance)) {
+        return Malformed(error, "unknown query type");
+      }
+      if (priority >= kNumPriorities) {
+        return Malformed(error, "unknown priority");
+      }
+      q.type = static_cast<QueryType>(type);
+      q.priority = static_cast<Priority>(priority);
+      if (r.remaining() != size_t{num_targets} * sizeof(Vertex)) {
+        return Malformed(error, "target count disagrees with frame length");
+      }
+      q.targets.resize(num_targets);
+      for (uint32_t i = 0; i < num_targets; ++i) r.Get(&q.targets[i]);
+      break;
+    }
+    case static_cast<uint8_t>(MessageKind::kEdgeUpdates): {
+      req.kind = MessageKind::kEdgeUpdates;
+      UpdateRequest& u = req.updates;
+      u.request_id = request_id;
+      uint32_t count = 0;
+      if (!r.Get(&count)) return Malformed(error, "truncated update count");
+      constexpr size_t kPerUpdate = 2 * sizeof(Vertex) + 1;
+      if (r.remaining() != size_t{count} * kPerUpdate) {
+        return Malformed(error, "update count disagrees with frame length");
+      }
+      u.updates.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        uint8_t insert = 0;
+        r.Get(&u.updates[i].u);
+        r.Get(&u.updates[i].v);
+        r.Get(&insert);
+        if (insert > 1) return Malformed(error, "insert flag not 0/1");
+        u.updates[i].insert = insert != 0;
+      }
+      break;
+    }
+    default:
+      return Malformed(error, "unknown message kind");
+  }
+  if (!r.Done()) return Malformed(error, "trailing bytes after message");
+  *out = std::move(req);
+  *consumed = frame_bytes;
+  return DecodeStatus::kOk;
+}
+
+DecodeStatus DecodeResponse(std::string_view buffer, size_t max_frame_bytes,
+                            Response* out, size_t* consumed,
+                            std::string* error) {
+  std::string_view payload;
+  size_t frame_bytes = 0;
+  DecodeStatus s = SplitFrame(buffer, max_frame_bytes, &payload, &frame_bytes,
+                              error);
+  if (s != DecodeStatus::kOk) return s;
+
+  PayloadReader r(payload);
+  Response resp;
+  uint64_t request_id = 0;
+  uint8_t kind = 0;
+  if (!r.Get(&request_id) || !r.Get(&kind)) {
+    return Malformed(error, "payload shorter than header");
+  }
+  switch (kind) {
+    case static_cast<uint8_t>(MessageKind::kQuery): {
+      resp.kind = MessageKind::kQuery;
+      QueryResponse& q = resp.query;
+      q.request_id = request_id;
+      uint8_t type = 0;
+      uint8_t status = 0;
+      uint8_t sketch = 0;
+      if (!r.Get(&type) || !r.Get(&status) || !r.Get(&sketch) ||
+          !r.Get(&q.snapshot_version) || !r.Get(&q.distance) ||
+          !r.Get(&q.bound_lower) || !r.Get(&q.bound_upper) ||
+          !r.Get(&q.vertices_reached)) {
+        return Malformed(error, "truncated response fields");
+      }
+      if (type > static_cast<uint8_t>(QueryType::kPointToPointDistance)) {
+        return Malformed(error, "unknown query type");
+      }
+      if (status > static_cast<uint8_t>(QueryStatus::kShed)) {
+        return Malformed(error, "unknown status");
+      }
+      if (sketch > 1) return Malformed(error, "sketch flag not 0/1");
+      q.type = static_cast<QueryType>(type);
+      q.status = static_cast<QueryStatus>(status);
+      q.sketch_resolved = sketch != 0;
+      uint32_t num_levels = 0;
+      if (!r.Get(&num_levels) ||
+          r.remaining() < size_t{num_levels} * sizeof(Level)) {
+        return Malformed(error, "level count disagrees with frame length");
+      }
+      q.levels.resize(num_levels);
+      for (uint32_t i = 0; i < num_levels; ++i) r.Get(&q.levels[i]);
+      uint32_t num_reachable = 0;
+      if (!r.Get(&num_reachable) || r.remaining() < size_t{num_reachable}) {
+        return Malformed(error, "reachable count disagrees with frame length");
+      }
+      q.reachable.resize(num_reachable);
+      for (uint32_t i = 0; i < num_reachable; ++i) {
+        r.Get(&q.reachable[i]);
+        if (q.reachable[i] > 1) {
+          return Malformed(error, "reachable flag not 0/1");
+        }
+      }
+      uint32_t num_khop = 0;
+      if (!r.Get(&num_khop) ||
+          r.remaining() != size_t{num_khop} * sizeof(uint64_t)) {
+        return Malformed(error, "khop count disagrees with frame length");
+      }
+      q.khop_sizes.resize(num_khop);
+      for (uint32_t i = 0; i < num_khop; ++i) r.Get(&q.khop_sizes[i]);
+      break;
+    }
+    case static_cast<uint8_t>(MessageKind::kEdgeUpdates): {
+      resp.kind = MessageKind::kEdgeUpdates;
+      UpdateResponse& u = resp.update;
+      u.request_id = request_id;
+      if (!r.Get(&u.content_version) || !r.Get(&u.num_applied)) {
+        return Malformed(error, "truncated update ack");
+      }
+      break;
+    }
+    default:
+      return Malformed(error, "unknown message kind");
+  }
+  if (!r.Done()) return Malformed(error, "trailing bytes after message");
+  *out = std::move(resp);
+  *consumed = frame_bytes;
+  return DecodeStatus::kOk;
+}
+
+}  // namespace server
+}  // namespace pbfs

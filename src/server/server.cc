@@ -1,0 +1,541 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace pbfs {
+namespace server {
+
+PbfsServer::PbfsServer(QueryEngine* engine, const ServerOptions& options)
+    : engine_(engine), options_(options), admission_(options.admission) {
+  PBFS_CHECK(engine_ != nullptr);
+}
+
+PbfsServer::~PbfsServer() { Stop(); }
+
+bool PbfsServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) return false;
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 128) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  if (::pipe2(wake_pipe_, O_NONBLOCK) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  started_ = true;
+  poll_thread_ = std::thread([this] { PollLoop(); });
+  submit_thread_ = std::thread([this] { SubmitLoop(); });
+  completion_thread_ = std::thread([this] { CompletionLoop(); });
+  return true;
+}
+
+void PbfsServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) return;
+    stopping_ = true;
+  }
+  // Order matters: the submit thread exits once admission stops, the
+  // completion thread drains every already-submitted future and
+  // delivers it, and only then does the poll thread flush the last
+  // responses and let session drain timers reap stragglers.
+  admission_.Stop();
+  WakePoll();
+  submit_thread_.join();
+  completion_thread_.join();
+  poll_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+#ifdef PBFS_TRACING
+  if (live_registry_ != nullptr) {
+    live_registry_->RemoveCollectors(this);
+    live_registry_ = nullptr;
+  }
+#endif
+}
+
+void PbfsServer::WakePoll() {
+  if (wake_pipe_[1] < 0) return;
+  char b = 1;
+  // Nonblocking: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+}
+
+// ---- Request routing (poll thread or completion thread, under mu_) ----
+
+namespace {
+
+Query BuildQuery(const QueryRequest& req, int64_t deadline_ns) {
+  Query q;
+  q.type = req.type;
+  q.source = req.source;
+  q.targets = req.targets;
+  q.tolerance = req.tolerance;
+  q.max_hops = req.max_hops;
+  q.deadline_ns = deadline_ns;
+  return q;
+}
+
+}  // namespace
+
+QueryResponse PbfsServer::MakeResponse(const QueryRequest& req,
+                                       const QueryResult& result) {
+  QueryResponse resp;
+  resp.request_id = req.request_id;
+  resp.type = req.type;
+  resp.status = result.status;
+  resp.sketch_resolved = result.sketch_resolved;
+  resp.snapshot_version = result.snapshot_version;
+  resp.distance = result.distance;
+  resp.bound_lower = result.distance_bounds.lower;
+  resp.bound_upper = result.distance_bounds.upper;
+  resp.vertices_reached = result.vertices_reached;
+  resp.levels = result.levels;
+  resp.reachable = result.reachable;
+  resp.khop_sizes = result.khop_sizes;
+  return resp;
+}
+
+void PbfsServer::QueueQueryResponseLocked(Conn& conn,
+                                          const QueryResponse& resp,
+                                          int64_t now_ns,
+                                          std::vector<Request>* resumed) {
+  std::string encoded;
+  EncodeQueryResponse(resp, &encoded);
+  ++stats_.frames_tx;
+  conn.session->OnResponseQueued(encoded, now_ns, resumed);
+}
+
+void PbfsServer::HandleRequestsLocked(Conn& conn,
+                                      std::vector<Request>* requests,
+                                      int64_t now_ns) {
+  // Responses queued here can reopen a backpressured window and resume
+  // decoding of buffered frames; iterate until the worklist is dry
+  // instead of recursing.
+  std::vector<Request> work = std::move(*requests);
+  requests->clear();
+  while (!work.empty()) {
+    std::vector<Request> next;
+    for (Request& req : work) {
+      ++stats_.frames_rx;
+      if (req.kind == MessageKind::kEdgeUpdates) {
+        const uint64_t version = engine_->ApplyUpdates(req.updates.updates);
+        ++stats_.updates_applied;
+        UpdateResponse ack;
+        ack.request_id = req.updates.request_id;
+        ack.content_version = version;
+        ack.num_applied = static_cast<uint32_t>(req.updates.updates.size());
+        std::string encoded;
+        EncodeUpdateResponse(ack, &encoded);
+        ++stats_.frames_tx;
+        conn.session->OnResponseQueued(encoded, now_ns, &next);
+        continue;
+      }
+      const QueryRequest& q = req.query;
+      const int64_t deadline_ns =
+          q.deadline_ms == 0
+              ? 0
+              : now_ns + static_cast<int64_t>(q.deadline_ms) * 1000000;
+      AdmissionTicket ticket;
+      ticket.session_id = conn.session->id();
+      ticket.request_id = q.request_id;
+      ticket.priority = q.priority;
+      ticket.type = q.type;
+      ticket.deadline_ns = deadline_ns;
+      ticket.rx_ns = now_ns;
+      ticket.query = BuildQuery(q, deadline_ns);
+      const AdmitResult r =
+          admission_.Offer(std::move(ticket), engine_inflight_.load());
+      if (r != AdmitResult::kAdmitted) {
+        QueryResponse resp;
+        resp.request_id = q.request_id;
+        resp.type = q.type;
+        resp.status = QueryStatus::kShed;
+        QueueQueryResponseLocked(conn, resp, now_ns, &next);
+      }
+    }
+    work = std::move(next);
+  }
+}
+
+// ---- Submit thread ----
+
+void PbfsServer::SubmitLoop() {
+  AdmissionTicket ticket;
+  bool expired = false;
+  while (admission_.Take(&ticket, &expired)) {
+    InFlight f;
+    f.session_id = ticket.session_id;
+    f.request_id = ticket.request_id;
+    f.type = ticket.type;
+    f.priority = ticket.priority;
+    f.rx_ns = ticket.rx_ns;
+    if (expired) {
+      // Missed its deadline while queued: answer without burning a
+      // traversal. Routed through the completion queue so delivery
+      // order per session stays sane.
+      std::promise<QueryResult> p;
+      QueryResult r;
+      r.status = QueryStatus::kDeadlineExceeded;
+      p.set_value(std::move(r));
+      f.future = p.get_future();
+    } else {
+      {
+        std::unique_lock<std::mutex> lock(comp_mu_);
+        inflight_cv_.wait(lock, [this] {
+          return engine_inflight_.load() < options_.max_engine_inflight;
+        });
+      }
+      f.submit_ns = NowNanos();
+      f.counted_inflight = true;
+      QueryEngine::Submission sub = engine_->Submit(std::move(ticket.query));
+      f.future = std::move(sub.result);
+    }
+    {
+      std::lock_guard<std::mutex> lock(comp_mu_);
+      if (f.counted_inflight) engine_inflight_.fetch_add(1);
+      completions_.push_back(std::move(f));
+    }
+    comp_cv_.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(comp_mu_);
+    submit_done_ = true;
+  }
+  comp_cv_.notify_all();
+}
+
+// ---- Completion thread ----
+
+void PbfsServer::CompletionLoop() {
+  for (;;) {
+    InFlight f;
+    {
+      std::unique_lock<std::mutex> lock(comp_mu_);
+      comp_cv_.wait(lock,
+                    [this] { return !completions_.empty() || submit_done_; });
+      if (completions_.empty()) break;  // submit_done_ and nothing left
+      f = std::move(completions_.front());
+      completions_.pop_front();
+    }
+    // Futures resolve in submission order often enough that waiting on
+    // the head rarely blocks behind a later completion; when it does,
+    // the wait is bounded by the engine's batch time.
+    QueryResult result = f.future.get();
+    const int64_t done_ns = NowNanos();
+    if (f.counted_inflight) {
+      {
+        std::lock_guard<std::mutex> lock(comp_mu_);
+        engine_inflight_.fetch_sub(1);
+      }
+      inflight_cv_.notify_one();
+      // Feed the cost model with submit-to-completion time: it
+      // overestimates pure service time by the engine's internal queue
+      // wait, which makes deadline shedding conservative under load —
+      // the direction we want.
+      admission_.OnServiced(static_cast<double>(done_ns - f.submit_ns) *
+                            1e-6);
+    }
+    QueryRequest echo;
+    echo.request_id = f.request_id;
+    echo.type = f.type;
+    DeliverResponse(f.session_id, MakeResponse(echo, result), f.priority,
+                    f.rx_ns);
+  }
+}
+
+void PbfsServer::DeliverResponse(uint64_t session_id,
+                                 const QueryResponse& resp, Priority priority,
+                                 int64_t rx_ns) {
+  const int64_t now = NowNanos();
+#ifdef PBFS_TRACING
+  latency_windows_[static_cast<int>(priority)].Add(
+      static_cast<double>(now - rx_ns) * 1e-6, now);
+#else
+  (void)priority;
+  (void)rx_ns;
+#endif
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (resp.status == QueryStatus::kOk) ++stats_.queries_ok;
+    if (resp.status == QueryStatus::kDeadlineExceeded) {
+      ++stats_.queries_timed_out;
+    }
+    auto it = conns_.find(session_id);
+    if (it == conns_.end()) {
+      ++stats_.responses_dropped;
+      return;
+    }
+    std::vector<Request> resumed;
+    QueueQueryResponseLocked(it->second, resp, now, &resumed);
+    if (!resumed.empty()) HandleRequestsLocked(it->second, &resumed, now);
+  }
+  WakePoll();
+}
+
+// ---- Poll thread ----
+
+void PbfsServer::CloseConnLocked(Conn& conn) {
+  ++stats_.sessions_closed;
+  if (conn.session->close_reason() == "protocol_error") {
+    ++stats_.protocol_errors;
+  }
+  stats_.backpressure_events += conn.session->backpressure_events();
+  ::close(conn.fd);
+  conn.fd = -1;
+}
+
+void PbfsServer::PollLoop() {
+  std::vector<pollfd> pfds;
+  std::vector<uint64_t> ids;
+  std::vector<char> buf(64 * 1024);
+  bool shutdown_broadcast = false;
+  for (;;) {
+    pfds.clear();
+    ids.clear();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_ && conns_.empty()) break;
+      const bool accepting =
+          !stopping_ && conns_.size() < options_.max_sessions;
+      pfds.push_back({wake_pipe_[0], POLLIN, 0});
+      pfds.push_back(
+          {listen_fd_, static_cast<short>(accepting ? POLLIN : 0), 0});
+      for (auto& [id, conn] : conns_) {
+        short events = 0;
+        if (conn.session->WantRead()) events |= POLLIN;
+        if (conn.session->HasTx()) events |= POLLOUT;
+        pfds.push_back({conn.fd, events, 0});
+        ids.push_back(id);
+      }
+    }
+    ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+           options_.poll_interval_ms);
+    const int64_t now = NowNanos();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pfds[0].revents & POLLIN) {
+      char drain[256];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (pfds[1].revents & POLLIN) {
+      for (;;) {
+        const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+        if (fd < 0) break;
+        if (stopping_ || conns_.size() >= options_.max_sessions) {
+          ::close(fd);
+          continue;
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        const uint64_t id = next_session_id_++;
+        Conn conn;
+        conn.fd = fd;
+        conn.session = std::make_unique<Session>(id, options_.session, now);
+        conns_.emplace(id, std::move(conn));
+        ++stats_.sessions_opened;
+      }
+    }
+    for (size_t i = 0; i < ids.size(); ++i) {
+      auto it = conns_.find(ids[i]);
+      if (it == conns_.end()) continue;
+      Conn& conn = it->second;
+      Session& session = *conn.session;
+      const short revents = pfds[i + 2].revents;
+      if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        session.OnPeerClosed(now);
+        continue;
+      }
+      if (revents & POLLIN) {
+        while (session.WantRead()) {
+          const ssize_t n = ::recv(conn.fd, buf.data(), buf.size(), 0);
+          if (n > 0) {
+            std::vector<Request> requests;
+            const bool open = session.OnBytes(
+                std::string_view(buf.data(), static_cast<size_t>(n)), now,
+                &requests);
+            HandleRequestsLocked(conn, &requests, now);
+            if (!open || static_cast<size_t>(n) < buf.size()) break;
+          } else if (n == 0) {
+            session.OnPeerClosed(now);
+            break;
+          } else {
+            if (errno == EINTR) continue;
+            if (errno != EAGAIN && errno != EWOULDBLOCK) {
+              session.OnPeerClosed(now);
+            }
+            break;
+          }
+        }
+      }
+      if ((revents & POLLOUT) && session.HasTx()) {
+        const std::string_view tx = session.Tx();
+        const ssize_t n =
+            ::send(conn.fd, tx.data(), tx.size(), MSG_NOSIGNAL);
+        if (n > 0) {
+          session.ConsumeTx(static_cast<size_t>(n), now);
+        } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR) {
+          session.OnPeerClosed(now);
+        }
+      }
+    }
+    if (stopping_ && !shutdown_broadcast) {
+      shutdown_broadcast = true;
+      for (auto& [id, conn] : conns_) conn.session->OnShutdown(now);
+    }
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      it->second.session->OnTick(now);
+      if (it->second.session->state() == SessionState::kClosed) {
+        CloseConnLocked(it->second);
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+ServerStats PbfsServer::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerStats s = stats_;
+  s.sessions_active = conns_.size();
+  for (const auto& [id, conn] : conns_) {
+    s.backpressure_events += conn.session->backpressure_events();
+  }
+  s.admission = admission_.GetStats();
+  s.engine_inflight = engine_inflight_.load();
+  return s;
+}
+
+#ifdef PBFS_TRACING
+
+void PbfsServer::ExportLiveMetrics(obs::MetricsRegistry* registry) {
+  PBFS_CHECK(registry != nullptr);
+  live_registry_ = registry;
+  registry->AddCollector(this, [this](obs::ExpositionWriter& writer) {
+    CollectLiveMetrics(writer);
+  });
+}
+
+void PbfsServer::CollectLiveMetrics(obs::ExpositionWriter& writer) const {
+  const ServerStats s = GetStats();
+  const int64_t now = NowNanos();
+
+  struct Counter {
+    const char* name;
+    const char* help;
+    double value;
+  };
+  const Counter counters[] = {
+      {"pbfs_server_sessions_opened_total", "Connections accepted.",
+       static_cast<double>(s.sessions_opened)},
+      {"pbfs_server_sessions_closed_total", "Connections closed.",
+       static_cast<double>(s.sessions_closed)},
+      {"pbfs_server_frames_rx_total", "Request frames decoded.",
+       static_cast<double>(s.frames_rx)},
+      {"pbfs_server_frames_tx_total", "Response frames queued.",
+       static_cast<double>(s.frames_tx)},
+      {"pbfs_server_protocol_errors_total",
+       "Sessions closed for malformed or oversized frames.",
+       static_cast<double>(s.protocol_errors)},
+      {"pbfs_server_backpressure_events_total",
+       "Times a session's in-flight window filled and reads paused.",
+       static_cast<double>(s.backpressure_events)},
+      {"pbfs_server_admitted_total",
+       "Queries accepted by admission control.",
+       static_cast<double>(s.admission.admitted)},
+      {"pbfs_server_timed_out_total",
+       "Queries whose deadline passed after admission (in queue or in "
+       "the engine).",
+       static_cast<double>(s.queries_timed_out)},
+      {"pbfs_server_responses_dropped_total",
+       "Responses for sessions that closed first.",
+       static_cast<double>(s.responses_dropped)},
+      {"pbfs_server_updates_total", "Edge-update frames applied.",
+       static_cast<double>(s.updates_applied)},
+  };
+  for (const Counter& c : counters) {
+    writer.BeginFamily(c.name, c.help, "counter");
+    writer.Sample(c.name, {}, c.value);
+  }
+
+  writer.BeginFamily("pbfs_server_shed_total",
+                     "Queries rejected by admission control, by reason.",
+                     "counter");
+  writer.Sample("pbfs_server_shed_total", {{"reason", "queue_full"}},
+                static_cast<double>(s.admission.shed_queue_full));
+  writer.Sample("pbfs_server_shed_total", {{"reason", "deadline"}},
+                static_cast<double>(s.admission.shed_deadline));
+
+  writer.BeginFamily("pbfs_server_sessions_active", "Open connections.",
+                     "gauge");
+  writer.Sample("pbfs_server_sessions_active", {},
+                static_cast<double>(s.sessions_active));
+  writer.BeginFamily("pbfs_server_queue_depth",
+                     "Admitted tickets awaiting submission.", "gauge");
+  writer.Sample("pbfs_server_queue_depth", {},
+                static_cast<double>(s.admission.depth));
+  writer.BeginFamily("pbfs_server_engine_inflight",
+                     "Server-submitted queries not yet completed.", "gauge");
+  writer.Sample("pbfs_server_engine_inflight", {},
+                static_cast<double>(s.engine_inflight));
+  writer.BeginFamily("pbfs_server_admission_cost_ms",
+                     "EWMA per-query service-cost estimate driving "
+                     "deadline shedding.",
+                     "gauge");
+  writer.Sample("pbfs_server_admission_cost_ms", {}, s.admission.cost_ewma_ms);
+
+  writer.BeginFamily("pbfs_server_request_latency_ms",
+                     "Receipt-to-response latency over the rolling "
+                     "window, per admission priority (shed excluded).",
+                     "summary");
+  for (int p = 0; p < kNumPriorities; ++p) {
+    const obs::RollingWindow::Stats w = latency_windows_[p].WindowStats(now);
+    const std::vector<obs::MetricLabel> labels = {
+        {"priority", PriorityName(static_cast<Priority>(p))}};
+    obs::ExpositionWriter::SummaryData data;
+    data.sum = w.sum;
+    data.count = w.count;
+    if (w.count > 0) {
+      data.quantiles = {{0.5, w.p50}, {0.95, w.p95}, {0.99, w.p99}};
+    }
+    writer.SummarySamples("pbfs_server_request_latency_ms", labels, data);
+  }
+}
+
+#endif  // PBFS_TRACING
+
+}  // namespace server
+}  // namespace pbfs

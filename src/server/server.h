@@ -1,0 +1,203 @@
+// TCP front end for QueryEngine: poll loop + session FSMs + admission.
+//
+// Three threads own three concerns:
+//
+//   poll thread     — accept(2), nonblocking read/write, drives every
+//                     Session FSM (decode, backpressure, timeouts) on
+//                     a poll(2) loop. Decoded query frames go through
+//                     AdmissionController::Offer *here*, so a shed
+//                     response costs one encode and never touches a
+//                     queue. Edge-update frames are applied to the
+//                     engine inline and acked with the content
+//                     version that contains them.
+//
+//   submit thread   — pops admitted tickets (priority order), gates on
+//                     max_engine_inflight, stamps the absolute
+//                     deadline, calls QueryEngine::Submit, and hands
+//                     the future to the completion thread. Tickets
+//                     whose deadline expired while queued are answered
+//                     kDeadlineExceeded without submitting.
+//
+//   completion thread — waits on futures in submission order, feeds
+//                     each query's service time back into the
+//                     admission cost model (OnServiced), encodes the
+//                     response, and queues it on the owning session
+//                     (which may reopen a backpressured window and
+//                     resume decoding — those resumed requests loop
+//                     back through admission).
+//
+// Backpressure is end to end: a session whose in-flight window is full
+// stops being polled for reads, so a client that outruns the server
+// accumulates bytes in its own socket buffer, not in server memory.
+//
+// Lock order: mu_ (sessions/stats) before AdmissionController's
+// internal lock; comp_mu_ (completion queue) is never held together
+// with mu_.
+//
+// Under PBFS_TRACING the server exports pbfs_server_* metric families
+// (sessions, frames, admitted/shed/timed-out, queue depth,
+// per-priority latency rolling windows) via ExportLiveMetrics on the
+// shared live-telemetry registry.
+#ifndef PBFS_SERVER_SERVER_H_
+#define PBFS_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "server/admission.h"
+#include "server/protocol.h"
+#include "server/session.h"
+
+#ifdef PBFS_TRACING
+#include "obs/live/metrics_registry.h"
+#include "obs/live/rolling_window.h"
+#endif
+
+namespace pbfs {
+namespace server {
+
+struct ServerOptions {
+  // 0 = kernel-assigned ephemeral port (read it back from port()).
+  int port = 0;
+  size_t max_sessions = 256;
+  SessionOptions session;
+  AdmissionController::Options admission;
+  // Queries submitted to the engine but not yet completed; the submit
+  // thread stalls at this cap so the admission queue (which sheds)
+  // absorbs overload instead of the engine's unbounded pending map.
+  size_t max_engine_inflight = 128;
+  // Poll timeout: bounds FSM timer latency.
+  int poll_interval_ms = 50;
+};
+
+struct ServerStats {
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_closed = 0;
+  size_t sessions_active = 0;
+  uint64_t frames_rx = 0;
+  uint64_t frames_tx = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t backpressure_events = 0;
+  uint64_t responses_dropped = 0;  // session died before its response
+  uint64_t updates_applied = 0;    // edge-update frames acked
+  uint64_t queries_timed_out = 0;  // expired in queue or by the engine
+  uint64_t queries_ok = 0;
+  AdmissionController::Stats admission;
+  size_t engine_inflight = 0;
+};
+
+class PbfsServer {
+ public:
+  // `engine` is borrowed and must outlive the server.
+  PbfsServer(QueryEngine* engine, const ServerOptions& options);
+  ~PbfsServer();
+
+  PbfsServer(const PbfsServer&) = delete;
+  PbfsServer& operator=(const PbfsServer&) = delete;
+
+  // Binds (loopback), spawns the three threads. False on bind failure.
+  bool Start();
+  // Graceful stop: stop accepting, drain sessions (bounded by their
+  // drain timers), complete already-submitted queries, join threads.
+  // Queued-but-unsubmitted tickets are abandoned. Idempotent.
+  void Stop();
+
+  int port() const { return port_; }
+  ServerStats GetStats() const;
+
+#ifdef PBFS_TRACING
+  // Registers the pbfs_server_* collector; withdrawn in Stop().
+  void ExportLiveMetrics(obs::MetricsRegistry* registry);
+#endif
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::unique_ptr<Session> session;
+  };
+
+  // A submitted (or synthetically completed) request awaiting delivery.
+  struct InFlight {
+    uint64_t session_id = 0;
+    uint64_t request_id = 0;
+    QueryType type = QueryType::kLevels;
+    Priority priority = Priority::kNormal;
+    int64_t rx_ns = 0;
+    int64_t submit_ns = 0;
+    bool counted_inflight = false;  // true when it holds an engine slot
+    std::future<QueryResult> future;
+  };
+
+  void PollLoop();
+  void SubmitLoop();
+  void CompletionLoop();
+
+  // Requires mu_. Routes decoded requests: queries through admission
+  // (shed responses queued immediately), update frames applied + acked.
+  // Processes the full worklist including requests resumed by window
+  // reopens.
+  void HandleRequestsLocked(Conn& conn, std::vector<Request>* requests,
+                            int64_t now_ns);
+  // Requires mu_. Encode + queue one query response on its session.
+  void QueueQueryResponseLocked(Conn& conn, const QueryResponse& resp,
+                                int64_t now_ns,
+                                std::vector<Request>* resumed);
+  // Completion-thread side: find the session and deliver.
+  void DeliverResponse(uint64_t session_id, const QueryResponse& resp,
+                       Priority priority, int64_t rx_ns);
+  void WakePoll();
+  // Requires mu_. Close the fd and drop the session.
+  void CloseConnLocked(Conn& conn);
+
+  static QueryResponse MakeResponse(const QueryRequest& req,
+                                    const QueryResult& result);
+
+  QueryEngine* const engine_;
+  const ServerOptions options_;
+  AdmissionController admission_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Conn> conns_;
+  uint64_t next_session_id_ = 1;
+  ServerStats stats_;
+  bool stopping_ = false;
+  bool started_ = false;
+
+  std::mutex comp_mu_;
+  std::condition_variable comp_cv_;
+  std::condition_variable inflight_cv_;
+  std::deque<InFlight> completions_;
+  // Atomic so admission offers (under mu_) can read it without taking
+  // comp_mu_; writes happen under comp_mu_ so the submit gate's
+  // condition_variable wait never misses a wakeup.
+  std::atomic<size_t> engine_inflight_{0};
+  bool submit_done_ = false;
+
+  std::thread poll_thread_;
+  std::thread submit_thread_;
+  std::thread completion_thread_;
+
+#ifdef PBFS_TRACING
+  void CollectLiveMetrics(obs::ExpositionWriter& writer) const;
+  obs::MetricsRegistry* live_registry_ = nullptr;
+  obs::RollingWindow latency_windows_[kNumPriorities];
+#endif
+};
+
+}  // namespace server
+}  // namespace pbfs
+
+#endif  // PBFS_SERVER_SERVER_H_

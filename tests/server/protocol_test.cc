@@ -1,0 +1,312 @@
+// Protocol codec property suite: randomized round-trip corpus plus
+// malformed / truncated / oversized-frame rejection. All randomness is
+// a pure function of PBFS_DIFF_SEED and every assertion carries the
+// differential harness's reproduction banner, so a codec failure
+// replays exactly like a BFS divergence does.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "differential/diff_util.h"
+#include "server/protocol.h"
+#include "server/server_test_util.h"
+#include "util/rng.h"
+
+namespace pbfs {
+namespace server {
+namespace {
+
+using diff::NumTrials;
+using diff::ReproNote;
+using diff::TrialSeed;
+
+QueryResponse RandomQueryResponse(Rng& rng, uint64_t request_id) {
+  QueryResponse resp;
+  resp.request_id = request_id;
+  resp.type = static_cast<QueryType>(rng.NextBounded(5));
+  resp.status = static_cast<QueryStatus>(rng.NextBounded(5));
+  resp.sketch_resolved = rng.NextBounded(2) == 1;
+  resp.snapshot_version = rng.Next();
+  resp.distance = static_cast<Level>(rng.NextBounded(0x10000));
+  resp.bound_lower = static_cast<Level>(rng.NextBounded(0x10000));
+  resp.bound_upper = static_cast<Level>(rng.NextBounded(0x10000));
+  resp.vertices_reached = rng.Next();
+  const size_t num_levels = rng.NextBounded(300);
+  for (size_t i = 0; i < num_levels; ++i) {
+    resp.levels.push_back(static_cast<Level>(rng.NextBounded(0x10000)));
+  }
+  const size_t num_reachable = rng.NextBounded(16);
+  for (size_t i = 0; i < num_reachable; ++i) {
+    resp.reachable.push_back(static_cast<uint8_t>(rng.NextBounded(2)));
+  }
+  const size_t num_khop = rng.NextBounded(12);
+  for (size_t i = 0; i < num_khop; ++i) {
+    resp.khop_sizes.push_back(rng.Next());
+  }
+  return resp;
+}
+
+UpdateRequest RandomUpdateRequest(Rng& rng, uint64_t request_id) {
+  UpdateRequest req;
+  req.request_id = request_id;
+  const size_t count = rng.NextBounded(64);
+  for (size_t i = 0; i < count; ++i) {
+    EdgeUpdate u;
+    u.u = static_cast<Vertex>(rng.NextBounded(1 << 20));
+    u.v = static_cast<Vertex>(rng.NextBounded(1 << 20));
+    u.insert = rng.NextBounded(2) == 1;
+    req.updates.push_back(u);
+  }
+  return req;
+}
+
+TEST(ProtocolTest, QueryRequestRoundTrip) {
+  for (int trial = 0; trial < NumTrials(); ++trial) {
+    const uint64_t seed = TrialSeed(static_cast<uint64_t>(trial));
+    const std::string note = ReproNote(seed);
+    Rng rng(seed);
+    for (int i = 0; i < 200; ++i) {
+      const QueryRequest sent =
+          RandomQueryRequest(rng, 1 << 20, rng.Next());
+      std::string wire;
+      EncodeQueryRequest(sent, &wire);
+      Request got;
+      size_t consumed = 0;
+      std::string error;
+      ASSERT_EQ(DecodeRequest(wire, kMaxRequestBytes, &got, &consumed,
+                              &error),
+                DecodeStatus::kOk)
+          << error << " " << note;
+      ASSERT_EQ(consumed, wire.size()) << note;
+      ASSERT_EQ(got.kind, MessageKind::kQuery) << note;
+      ASSERT_EQ(got.query, sent) << note;
+    }
+  }
+}
+
+TEST(ProtocolTest, UpdateRequestRoundTrip) {
+  for (int trial = 0; trial < NumTrials(); ++trial) {
+    const uint64_t seed = TrialSeed(static_cast<uint64_t>(trial));
+    const std::string note = ReproNote(seed);
+    Rng rng(seed);
+    for (int i = 0; i < 200; ++i) {
+      const UpdateRequest sent = RandomUpdateRequest(rng, rng.Next());
+      std::string wire;
+      EncodeUpdateRequest(sent, &wire);
+      Request got;
+      size_t consumed = 0;
+      ASSERT_EQ(DecodeRequest(wire, kMaxRequestBytes, &got, &consumed),
+                DecodeStatus::kOk)
+          << note;
+      ASSERT_EQ(got.kind, MessageKind::kEdgeUpdates) << note;
+      ASSERT_TRUE(got.updates == sent) << note;
+    }
+  }
+}
+
+TEST(ProtocolTest, ResponseRoundTrip) {
+  for (int trial = 0; trial < NumTrials(); ++trial) {
+    const uint64_t seed = TrialSeed(static_cast<uint64_t>(trial));
+    const std::string note = ReproNote(seed);
+    Rng rng(seed);
+    for (int i = 0; i < 200; ++i) {
+      std::string wire;
+      Response got;
+      size_t consumed = 0;
+      if (rng.NextBounded(2) == 0) {
+        const QueryResponse sent = RandomQueryResponse(rng, rng.Next());
+        EncodeQueryResponse(sent, &wire);
+        ASSERT_EQ(DecodeResponse(wire, kMaxResponseBytes, &got, &consumed),
+                  DecodeStatus::kOk)
+            << note;
+        ASSERT_EQ(got.kind, MessageKind::kQuery) << note;
+        ASSERT_EQ(got.query, sent) << note;
+      } else {
+        UpdateResponse sent;
+        sent.request_id = rng.Next();
+        sent.content_version = rng.Next();
+        sent.num_applied = static_cast<uint32_t>(rng.NextBounded(1000));
+        EncodeUpdateResponse(sent, &wire);
+        ASSERT_EQ(DecodeResponse(wire, kMaxResponseBytes, &got, &consumed),
+                  DecodeStatus::kOk)
+            << note;
+        ASSERT_EQ(got.kind, MessageKind::kEdgeUpdates) << note;
+        ASSERT_EQ(got.update, sent) << note;
+      }
+      ASSERT_EQ(consumed, wire.size()) << note;
+    }
+  }
+}
+
+// Frames back to back in one buffer decode in order, each reporting
+// its own consumed length.
+TEST(ProtocolTest, ConcatenatedFramesDecodeInOrder) {
+  for (int trial = 0; trial < NumTrials(); ++trial) {
+    const uint64_t seed = TrialSeed(static_cast<uint64_t>(trial));
+    const std::string note = ReproNote(seed);
+    Rng rng(seed);
+    std::vector<QueryRequest> sent;
+    std::string wire;
+    for (int i = 0; i < 16; ++i) {
+      sent.push_back(RandomQueryRequest(rng, 1 << 16, rng.Next()));
+      EncodeQueryRequest(sent.back(), &wire);
+    }
+    std::string_view rest = wire;
+    for (const QueryRequest& expect : sent) {
+      Request got;
+      size_t consumed = 0;
+      ASSERT_EQ(DecodeRequest(rest, kMaxRequestBytes, &got, &consumed),
+                DecodeStatus::kOk)
+          << note;
+      ASSERT_EQ(got.query, expect) << note;
+      rest.remove_prefix(consumed);
+    }
+    ASSERT_TRUE(rest.empty()) << note;
+  }
+}
+
+// Property: every strict prefix of a valid frame is kNeedMore — the
+// incremental decoder never misreads a truncated stream as malformed
+// (or worse, as a shorter valid frame).
+TEST(ProtocolTest, EveryStrictPrefixNeedsMore) {
+  for (int trial = 0; trial < NumTrials(); ++trial) {
+    const uint64_t seed = TrialSeed(static_cast<uint64_t>(trial));
+    const std::string note = ReproNote(seed);
+    Rng rng(seed);
+    const QueryRequest sent = RandomQueryRequest(rng, 4096, rng.Next());
+    std::string wire;
+    EncodeQueryRequest(sent, &wire);
+    for (size_t cut = 0; cut < wire.size(); ++cut) {
+      Request got;
+      size_t consumed = 0;
+      ASSERT_EQ(DecodeRequest(std::string_view(wire).substr(0, cut),
+                              kMaxRequestBytes, &got, &consumed),
+                DecodeStatus::kNeedMore)
+          << "prefix len " << cut << " " << note;
+    }
+  }
+}
+
+TEST(ProtocolTest, OversizedFrameRejectedFromHeaderAlone) {
+  // Length prefix declaring (limit + 1) bytes: rejected with only the
+  // 4 header bytes buffered.
+  const uint32_t huge = static_cast<uint32_t>(kMaxRequestBytes) + 1;
+  std::string wire;
+  for (int i = 0; i < 4; ++i) {
+    wire.push_back(static_cast<char>((huge >> (8 * i)) & 0xFF));
+  }
+  Request got;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(DecodeRequest(wire, kMaxRequestBytes, &got, &consumed, &error),
+            DecodeStatus::kOversized);
+  EXPECT_NE(error.find("exceeds limit"), std::string::npos) << error;
+}
+
+// Targeted malformed frames: each corruption must be rejected, never
+// silently reinterpreted.
+TEST(ProtocolTest, MalformedFramesRejected) {
+  Rng rng(TrialSeed(0));
+  const QueryRequest base = RandomQueryRequest(rng, 1024, 7);
+  std::string valid;
+  EncodeQueryRequest(base, &valid);
+  const size_t kKindOffset = 4 + 8;      // length prefix + request id
+  const size_t kTypeOffset = kKindOffset + 1;
+  const size_t kPriorityOffset = kTypeOffset + 1;
+
+  auto decode = [](const std::string& wire) {
+    Request got;
+    size_t consumed = 0;
+    return DecodeRequest(wire, kMaxRequestBytes, &got, &consumed);
+  };
+
+  std::string bad_kind = valid;
+  bad_kind[kKindOffset] = 9;
+  EXPECT_EQ(decode(bad_kind), DecodeStatus::kMalformed);
+
+  std::string bad_type = valid;
+  bad_type[kTypeOffset] = 100;
+  EXPECT_EQ(decode(bad_type), DecodeStatus::kMalformed);
+
+  std::string bad_priority = valid;
+  bad_priority[kPriorityOffset] = static_cast<char>(kNumPriorities);
+  EXPECT_EQ(decode(bad_priority), DecodeStatus::kMalformed);
+
+  // Trailing junk: payload one byte longer than the message.
+  std::string trailing = valid;
+  trailing.push_back('x');
+  const uint32_t len = static_cast<uint32_t>(trailing.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    trailing[i] = static_cast<char>((len >> (8 * i)) & 0xFF);
+  }
+  EXPECT_EQ(decode(trailing), DecodeStatus::kMalformed);
+
+  // Target count inconsistent with the payload length.
+  QueryRequest counted = base;
+  counted.targets = {1, 2, 3};
+  std::string bad_count;
+  EncodeQueryRequest(counted, &bad_count);
+  const size_t count_offset = bad_count.size() - 3 * sizeof(Vertex) - 4;
+  bad_count[count_offset] = 5;
+  EXPECT_EQ(decode(bad_count), DecodeStatus::kMalformed);
+
+  // Edge-update insert flag outside {0, 1}.
+  UpdateRequest upd;
+  upd.request_id = 9;
+  upd.updates.push_back({1, 2, true});
+  std::string bad_insert;
+  EncodeUpdateRequest(upd, &bad_insert);
+  bad_insert.back() = 2;
+  EXPECT_EQ(decode(bad_insert), DecodeStatus::kMalformed);
+
+  // Response-side: status byte beyond kShed.
+  QueryResponse resp;
+  resp.request_id = 1;
+  std::string bad_status;
+  EncodeQueryResponse(resp, &bad_status);
+  bad_status[kTypeOffset + 1] = 17;  // status follows type
+  Response rgot;
+  size_t rconsumed = 0;
+  EXPECT_EQ(DecodeResponse(bad_status, kMaxResponseBytes, &rgot, &rconsumed),
+            DecodeStatus::kMalformed);
+}
+
+// Fuzz-lite: random single-byte mutations of valid frames must decode
+// to *some* status without crashing or over-consuming — exercised
+// under ASan/UBSan via the `server` label.
+TEST(ProtocolTest, RandomMutationsNeverCrash) {
+  for (int trial = 0; trial < NumTrials(); ++trial) {
+    const uint64_t seed = TrialSeed(static_cast<uint64_t>(trial));
+    const std::string note = ReproNote(seed);
+    Rng rng(seed);
+    for (int i = 0; i < 500; ++i) {
+      std::string wire;
+      if (rng.NextBounded(2) == 0) {
+        EncodeQueryRequest(RandomQueryRequest(rng, 512, rng.Next()), &wire);
+      } else {
+        EncodeUpdateRequest(RandomUpdateRequest(rng, rng.Next()), &wire);
+      }
+      // Mutate 1-4 bytes anywhere, length prefix included.
+      const int flips = 1 + static_cast<int>(rng.NextBounded(4));
+      for (int f = 0; f < flips; ++f) {
+        wire[rng.NextBounded(wire.size())] =
+            static_cast<char>(rng.NextBounded(256));
+      }
+      Request got;
+      size_t consumed = 0;
+      const DecodeStatus s =
+          DecodeRequest(wire, kMaxRequestBytes, &got, &consumed);
+      if (s == DecodeStatus::kOk) {
+        ASSERT_LE(consumed, wire.size()) << note;
+        ASSERT_GE(consumed, size_t{4}) << note;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace pbfs

@@ -1,0 +1,281 @@
+// End-to-end server suite over real loopback sockets: mixed queries
+// diffed against the oracle, versioned edge updates, overload
+// shedding, backpressure resume, protocol-error disconnect, and
+// graceful stop. Labeled `server` so both sanitizer CI legs run it —
+// the poll/submit/completion threads against concurrent clients are
+// exactly the interleavings TSan is for.
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "differential/diff_util.h"
+#include "dynamic/dynamic_util.h"
+#include "graph/generators.h"
+#include "sched/worker_pool.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/server_test_util.h"
+#include "util/rng.h"
+
+namespace pbfs {
+namespace server {
+namespace {
+
+using diff::ReproNote;
+using diff::TrialSeed;
+
+TEST(ServerE2eTest, MixedQueriesMatchOracleOverSocket) {
+  const uint64_t seed = TrialSeed(1);
+  const std::string note = ReproNote(seed);
+  const Graph graph = ErdosRenyi(256, 1024, seed);
+  WorkerPool pool({.num_workers = 4, .pin_threads = false});
+  QueryEngine engine(graph, &pool);
+  PbfsServer srv(&engine, {});
+  ASSERT_TRUE(srv.Start());
+  ASSERT_GT(srv.port(), 0);
+
+  constexpr int kClients = 3;
+  constexpr int kQueriesPerClient = 40;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(SplitMix64(seed + static_cast<uint64_t>(c)));
+      PbfsClient client;
+      ASSERT_TRUE(client.Connect({.port = srv.port()}));
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        const QueryRequest req = RandomQueryRequest(
+            rng, graph.num_vertices(),
+            static_cast<uint64_t>(c) * 1000 + static_cast<uint64_t>(q));
+        QueryResponse resp;
+        std::string error;
+        ASSERT_TRUE(client.Call(req, &resp, &error)) << error << " " << note;
+        ASSERT_EQ(resp.status, QueryStatus::kOk) << note;
+        const std::string diff = DiffWireResponse(graph, req, resp);
+        if (!diff.empty()) {
+          ++mismatches;
+          ADD_FAILURE() << diff << " " << note;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const ServerStats stats = srv.GetStats();
+  EXPECT_EQ(stats.admission.admitted, kClients * kQueriesPerClient);
+  EXPECT_EQ(stats.queries_ok, kClients * kQueriesPerClient);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  srv.Stop();
+}
+
+TEST(ServerE2eTest, EdgeUpdatesAckWithContentVersionAndQueriesSeeThem) {
+  const uint64_t seed = TrialSeed(2);
+  const std::string note = ReproNote(seed);
+  const Graph graph = ErdosRenyi(128, 400, seed);
+  WorkerPool pool({.num_workers = 2, .pin_threads = false});
+  QueryEngine engine(graph, &pool);
+  PbfsServer srv(&engine, {});
+  ASSERT_TRUE(srv.Start());
+
+  PbfsClient client;
+  ASSERT_TRUE(client.Connect({.port = srv.port()}));
+
+  dyn::EdgeSet edges = dyn::GraphToSet(graph);
+  Rng rng(seed);
+  uint64_t next_id = 1;
+  for (int round = 0; round < 5; ++round) {
+    UpdateRequest upd;
+    upd.request_id = next_id++;
+    for (int i = 0; i < 20; ++i) {
+      EdgeUpdate op;
+      op.u = static_cast<Vertex>(rng.NextBounded(graph.num_vertices()));
+      op.v = static_cast<Vertex>(rng.NextBounded(graph.num_vertices()));
+      op.insert = rng.NextBounded(2) == 1;
+      upd.updates.push_back(op);
+    }
+    UpdateResponse ack;
+    std::string error;
+    ASSERT_TRUE(client.ApplyUpdates(upd, &ack, &error)) << error << " "
+                                                        << note;
+    ASSERT_EQ(ack.num_applied, upd.updates.size());
+    dyn::ApplyToSet(edges, upd.updates);
+    const Graph oracle =
+        Graph::FromEdges(graph.num_vertices(), dyn::SetToEdges(edges));
+
+    // A query submitted after the ack must run against a snapshot at
+    // least as new as the acked content version, and on this quiet
+    // connection exactly it (no competing updaters).
+    QueryRequest req;
+    req.request_id = next_id++;
+    req.type = QueryType::kLevels;
+    req.source = static_cast<Vertex>(rng.NextBounded(graph.num_vertices()));
+    QueryResponse resp;
+    ASSERT_TRUE(client.Call(req, &resp, &error)) << error << " " << note;
+    ASSERT_EQ(resp.status, QueryStatus::kOk) << note;
+    EXPECT_EQ(resp.snapshot_version, ack.content_version) << note;
+    EXPECT_EQ(DiffWireResponse(oracle, req, resp), "") << note;
+  }
+  const ServerStats stats = srv.GetStats();
+  EXPECT_EQ(stats.updates_applied, 5u);
+  srv.Stop();
+}
+
+TEST(ServerE2eTest, OverloadBurstShedsInsteadOfQueueing) {
+  const uint64_t seed = TrialSeed(3);
+  const Graph graph = ErdosRenyi(2048, 8192, seed);
+  WorkerPool pool({.num_workers = 2, .pin_threads = false});
+  QueryEngine engine(graph, &pool);
+  ServerOptions opts;
+  opts.admission.max_queue = 2;
+  opts.max_engine_inflight = 1;
+  opts.session.max_inflight = 128;
+  opts.session.resume_inflight = 64;
+  PbfsServer srv(&engine, opts);
+  ASSERT_TRUE(srv.Start());
+
+  PbfsClient client;
+  ASSERT_TRUE(client.Connect({.port = srv.port()}));
+  constexpr int kBurst = 64;
+  std::string burst;
+  for (int i = 0; i < kBurst; ++i) {
+    QueryRequest req;
+    req.request_id = static_cast<uint64_t>(i);
+    req.type = QueryType::kLevels;
+    req.source = static_cast<Vertex>(i % graph.num_vertices());
+    EncodeQueryRequest(req, &burst);
+  }
+  ASSERT_TRUE(client.Send(burst));
+
+  int ok = 0;
+  int shed = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    Response resp;
+    std::string error;
+    ASSERT_TRUE(client.ReadResponse(&resp, &error)) << error << " after "
+                                                    << i << " responses";
+    ASSERT_EQ(resp.kind, MessageKind::kQuery);
+    if (resp.query.status == QueryStatus::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(resp.query.status, QueryStatus::kShed);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, kBurst);
+  // A 64-query burst against queue cap 2 + inflight cap 1 must shed.
+  EXPECT_GT(shed, 0);
+  const ServerStats stats = srv.GetStats();
+  EXPECT_EQ(stats.admission.shed_queue_full + stats.admission.shed_deadline,
+            static_cast<uint64_t>(shed));
+  EXPECT_EQ(stats.admission.admitted, static_cast<uint64_t>(ok));
+  // The bounded queue never exceeded its cap (depth is current, so
+  // just sanity-check the invariant fields).
+  EXPECT_LE(stats.admission.depth, opts.admission.max_queue);
+  srv.Stop();
+}
+
+TEST(ServerE2eTest, BackpressurePausesReadsThenAnswersEverything) {
+  const uint64_t seed = TrialSeed(4);
+  const Graph graph = ErdosRenyi(64, 128, seed);
+  WorkerPool pool({.num_workers = 2, .pin_threads = false});
+  QueryEngine engine(graph, &pool);
+  ServerOptions opts;
+  opts.session.max_inflight = 4;
+  opts.session.resume_inflight = 2;
+  PbfsServer srv(&engine, opts);
+  ASSERT_TRUE(srv.Start());
+
+  PbfsClient client;
+  ASSERT_TRUE(client.Connect({.port = srv.port()}));
+  constexpr int kCount = 100;
+  std::string pipelined;
+  for (int i = 0; i < kCount; ++i) {
+    QueryRequest req;
+    req.request_id = static_cast<uint64_t>(i);
+    req.type = QueryType::kReachability;
+    req.source = static_cast<Vertex>(i % graph.num_vertices());
+    req.targets = {static_cast<Vertex>((i + 1) % graph.num_vertices())};
+    EncodeQueryRequest(req, &pipelined);
+  }
+  ASSERT_TRUE(client.Send(pipelined));
+  std::vector<bool> seen(kCount, false);
+  for (int i = 0; i < kCount; ++i) {
+    Response resp;
+    std::string error;
+    ASSERT_TRUE(client.ReadResponse(&resp, &error)) << error << " after "
+                                                    << i;
+    ASSERT_EQ(resp.kind, MessageKind::kQuery);
+    ASSERT_LT(resp.query.request_id, static_cast<uint64_t>(kCount));
+    EXPECT_FALSE(seen[resp.query.request_id]) << "duplicate response";
+    seen[resp.query.request_id] = true;
+  }
+  const ServerStats stats = srv.GetStats();
+  // 100 pipelined requests against a window of 4 had to pause reads.
+  EXPECT_GT(stats.backpressure_events, 0u);
+  EXPECT_EQ(stats.frames_rx, static_cast<uint64_t>(kCount));
+  srv.Stop();
+}
+
+TEST(ServerE2eTest, MalformedFrameClosesConnection) {
+  const Graph graph = ErdosRenyi(32, 64, 1);
+  WorkerPool pool({.num_workers = 2, .pin_threads = false});
+  QueryEngine engine(graph, &pool);
+  PbfsServer srv(&engine, {});
+  ASSERT_TRUE(srv.Start());
+
+  PbfsClient client;
+  ASSERT_TRUE(client.Connect({.port = srv.port()}));
+  QueryRequest req;
+  req.request_id = 1;
+  std::string wire;
+  EncodeQueryRequest(req, &wire);
+  wire[4 + 8] = 42;  // unknown message kind
+  ASSERT_TRUE(client.Send(wire));
+  Response resp;
+  std::string error;
+  // The server closes without answering.
+  EXPECT_FALSE(client.ReadResponse(&resp, &error));
+  // Poll loop reaps the session; stats follow shortly.
+  for (int i = 0; i < 100; ++i) {
+    if (srv.GetStats().protocol_errors > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(srv.GetStats().protocol_errors, 1u);
+  srv.Stop();
+}
+
+TEST(ServerE2eTest, GracefulStopUnderPendingLoadDoesNotHang) {
+  const Graph graph = ErdosRenyi(1024, 4096, 5);
+  WorkerPool pool({.num_workers = 2, .pin_threads = false});
+  QueryEngine engine(graph, &pool);
+  ServerOptions opts;
+  opts.session.drain_timeout_ms = 200;  // bound the test, not 5 s
+  opts.max_engine_inflight = 2;
+  PbfsServer srv(&engine, opts);
+  ASSERT_TRUE(srv.Start());
+
+  PbfsClient client;
+  ASSERT_TRUE(client.Connect({.port = srv.port()}));
+  std::string burst;
+  for (int i = 0; i < 20; ++i) {
+    QueryRequest req;
+    req.request_id = static_cast<uint64_t>(i);
+    req.type = QueryType::kLevels;
+    req.source = static_cast<Vertex>(i);
+    EncodeQueryRequest(req, &burst);
+  }
+  ASSERT_TRUE(client.Send(burst));
+  // Stop with queries pending: must complete within the drain bounds
+  // (joins all three threads) rather than hanging.
+  srv.Stop();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace pbfs

@@ -1,0 +1,93 @@
+// Shared helpers for the server test suites (tests/server/,
+// tests/soak/): random wire-request generation with the diff_util seed
+// discipline, and the bridge from wire responses back to QueryResult
+// so the dynamic harness's rebuild-then-BFS oracle (dyn::DiffResult)
+// diffs network answers unchanged.
+#ifndef PBFS_TESTS_SERVER_SERVER_TEST_UTIL_H_
+#define PBFS_TESTS_SERVER_SERVER_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "differential/diff_util.h"
+#include "dynamic/dynamic_util.h"
+#include "engine/query.h"
+#include "server/protocol.h"
+#include "util/rng.h"
+
+namespace pbfs {
+namespace server {
+
+// Uniformly random query request over an n-vertex graph. Query types
+// cycle through all five; deadline_ms == 0 (none) unless the caller
+// overrides it.
+inline QueryRequest RandomQueryRequest(Rng& rng, Vertex n,
+                                       uint64_t request_id) {
+  QueryRequest req;
+  req.request_id = request_id;
+  req.type = static_cast<QueryType>(rng.NextBounded(5));
+  req.priority = static_cast<Priority>(rng.NextBounded(kNumPriorities));
+  req.source = static_cast<Vertex>(rng.NextBounded(n));
+  switch (req.type) {
+    case QueryType::kLevels:
+      break;
+    case QueryType::kDistances:
+    case QueryType::kReachability: {
+      const size_t count = 1 + rng.NextBounded(8);
+      for (size_t i = 0; i < count; ++i) {
+        req.targets.push_back(static_cast<Vertex>(rng.NextBounded(n)));
+      }
+      break;
+    }
+    case QueryType::kKHop:
+      req.max_hops = static_cast<Level>(1 + rng.NextBounded(6));
+      break;
+    case QueryType::kPointToPointDistance:
+      req.targets.push_back(static_cast<Vertex>(rng.NextBounded(n)));
+      // Exact answers only: sketch-resolved bounded answers would need
+      // bracket (not equality) checking; tolerance 0 still allows the
+      // sketch fast path when the bounds pinch to the truth.
+      req.tolerance = 0;
+      break;
+  }
+  return req;
+}
+
+// Bridge: a wire response as the engine result it encodes, so
+// dyn::DiffResult applies verbatim.
+inline QueryResult ToQueryResult(const QueryResponse& resp) {
+  QueryResult r;
+  r.status = resp.status;
+  r.levels.assign(resp.levels.begin(), resp.levels.end());
+  r.reachable = resp.reachable;
+  r.khop_sizes = resp.khop_sizes;
+  r.vertices_reached = resp.vertices_reached;
+  r.distance = resp.distance;
+  r.distance_bounds = {resp.bound_lower, resp.bound_upper};
+  r.sketch_resolved = resp.sketch_resolved;
+  r.snapshot_version = resp.snapshot_version;
+  return r;
+}
+
+// The request as a dyn::QuerySpec, for oracle diffing.
+inline dyn::QuerySpec ToSpec(const QueryRequest& req) {
+  dyn::QuerySpec spec;
+  spec.type = req.type;
+  spec.source = req.source;
+  spec.targets = req.targets;
+  spec.max_hops = req.max_hops;
+  return spec;
+}
+
+// Diffs one wire response against the rebuild-then-BFS oracle graph
+// its snapshot_version maps to. Empty string = match.
+inline std::string DiffWireResponse(const Graph& oracle_graph,
+                                    const QueryRequest& req,
+                                    const QueryResponse& resp) {
+  return dyn::DiffResult(oracle_graph, ToSpec(req), ToQueryResult(resp));
+}
+
+}  // namespace server
+}  // namespace pbfs
+
+#endif  // PBFS_TESTS_SERVER_SERVER_TEST_UTIL_H_
