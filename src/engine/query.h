@@ -57,6 +57,15 @@ struct Query {
   // traversal so watchdog and latency telemetry can be exercised
   // end-to-end. 0 (the default) costs nothing.
   double debug_delay_ms = 0;
+  // Distributed-tracing context (obs/query_trace.h). 0 = unassigned;
+  // the server stamps the wire frame's id (or mints one) before
+  // Submit, and the engine mints one for in-process callers. Carried
+  // into QueryResult so callers can correlate answers with retained
+  // span trees. Plumbed even without PBFS_TRACING (it is two PODs) so
+  // the wire protocol does not fork on the build flag.
+  uint64_t trace_id = 0;
+  // True forces span-tree retention regardless of latency.
+  bool trace_sampled = false;
 };
 
 enum class QueryStatus : uint8_t {
@@ -100,6 +109,9 @@ struct QueryResult {
   // 0 for queries that never reached a traversal (cancelled, expired,
   // invalid, or rejected at shutdown).
   uint64_t snapshot_version = 0;
+  // Echo of Query::trace_id (post-minting), for correlation with the
+  // slow-query log and /debug/trace?trace_id=.
+  uint64_t trace_id = 0;
 };
 
 }  // namespace pbfs

@@ -13,6 +13,7 @@
 
 #ifdef PBFS_TRACING
 #include "obs/live/metrics_registry.h"
+#include "obs/query_trace.h"
 #include "obs/trace.h"
 #endif
 
@@ -29,6 +30,32 @@ void TraceQueryDone(uint64_t id, pbfs::QueryStatus status) {
   event.AddArg("query", id);
   event.AddArg("status", static_cast<uint64_t>(status));
   tracer.Record(event);
+}
+
+// Closes an engine-owned per-query trace entry. A no-op for queries
+// the server opened (the server finishes them when the response
+// reaches the wire) — only in-process submitters' entries close here.
+void FinishQueryTrace(uint64_t trace_id, pbfs::QueryStatus status,
+                      int64_t now_ns) {
+  using pbfs::obs::QueryOutcome;
+  QueryOutcome outcome = QueryOutcome::kOk;
+  switch (status) {
+    case pbfs::QueryStatus::kOk:
+      outcome = QueryOutcome::kOk;
+      break;
+    case pbfs::QueryStatus::kDeadlineExceeded:
+      outcome = QueryOutcome::kExpired;
+      break;
+    case pbfs::QueryStatus::kShed:
+      outcome = QueryOutcome::kShed;
+      break;
+    case pbfs::QueryStatus::kInvalid:
+    case pbfs::QueryStatus::kCancelled:
+      outcome = QueryOutcome::kError;
+      break;
+  }
+  pbfs::obs::QueryTraceStore::Get().Finish(
+      trace_id, pbfs::obs::TraceOwner::kEngine, outcome, now_ns);
 }
 
 }  // namespace
@@ -189,6 +216,24 @@ QueryEngine::Submission QueryEngine::Submit(Query query) {
   // same-version batching never splits more than one version boundary.
   SnapshotManager::Ref snapshot = snapshots_.Pin();
   const int64_t submit_ns = NowNanos();
+#ifdef PBFS_TRACING
+  {
+    // In-process submitters reach the engine without a trace context;
+    // mint one and open an engine-owned entry. Wire queries arrive with
+    // the server's id already open — Begin defers to it.
+    obs::QueryTraceStore& trace_store = obs::QueryTraceStore::Get();
+    if (query.trace_id == 0) query.trace_id = trace_store.MintTraceId();
+    obs::QueryTraceStore::BeginInfo info;
+    info.request_id = submission.id;
+    info.query_type = static_cast<uint8_t>(query.type);
+    info.priority = 1;  // in-process queries have no wire priority
+    info.sampled = query.trace_sampled;
+    trace_store.Begin(query.trace_id, obs::TraceOwner::kEngine, info,
+                      submit_ns);
+    trace_store.Stamp(query.trace_id, obs::QueryStageBound::kSubmitted,
+                      submit_ns);
+  }
+#endif
   Level bound_hint = kMaxLevel;
   if (query.type == QueryType::kPointToPointDistance &&
       rebuilder_ != nullptr && IsValid(query) &&
@@ -242,15 +287,27 @@ bool QueryEngine::TryAnswerFromSketchLocked(
   result.distance_bounds = bounds;
   result.sketch_resolved = true;
   result.snapshot_version = snapshot->content_version();
+  result.trace_id = query.trace_id;
   const int64_t done_ns = NowNanos();
   const double latency_ms = static_cast<double>(done_ns - submit_ns) / 1e6;
   stats_.latency_ms.Add(latency_ms);
 #ifdef PBFS_TRACING
   latency_windows_[static_cast<int>(query.type)].Add(latency_ms, done_ns);
+  {
+    // Inline answer: the sketch stood in for dispatch + kernel, so the
+    // dispatch/kernel boundaries collapse onto the completion instant.
+    obs::QueryTraceStore& trace_store = obs::QueryTraceStore::Get();
+    trace_store.Stamp(query.trace_id, obs::QueryStageBound::kDispatched,
+                      done_ns);
+    trace_store.Stamp(query.trace_id, obs::QueryStageBound::kKernelDone,
+                      done_ns);
+    trace_store.AnnotateSnapshot(query.trace_id, result.snapshot_version);
+  }
 #endif
   promise.set_value(std::move(result));
 #ifdef PBFS_TRACING
   TraceQueryDone(id, QueryStatus::kOk);
+  FinishQueryTrace(query.trace_id, QueryStatus::kOk, done_ns);
 #endif
   return true;
 }
@@ -372,9 +429,11 @@ void QueryEngine::CompleteLocked(PendingQuery& pending, QueryStatus status) {
       PBFS_CHECK(false);
       break;
   }
+  result.trace_id = pending.query.trace_id;
   pending.promise.set_value(std::move(result));
 #ifdef PBFS_TRACING
   TraceQueryDone(pending.id, status);
+  FinishQueryTrace(pending.query.trace_id, status, NowNanos());
 #endif
   PBFS_CHECK(outstanding_ > 0);
   --outstanding_;
@@ -542,8 +601,11 @@ int QueryEngine::ExecuteBatch(std::vector<PendingQuery>& batch) {
   const Vertex n = num_vertices_;
   const size_t count = batch.size();
 #ifdef PBFS_TRACING
+  const uint64_t batch_seq = ++batch_seq_;
+  const int64_t dispatch_ns = NowNanos();
   obs::ScopedSpan batch_span(count == 1 ? "engine.single" : "engine.batch");
   batch_span.AddArg("queries", count);
+  batch_span.AddArg("batch", batch_seq);
 #endif
   BindRunners(batch.front().snapshot);
   const uint64_t content_version = batch.front().snapshot->content_version();
@@ -592,16 +654,41 @@ int QueryEngine::ExecuteBatch(std::vector<PendingQuery>& batch) {
   // buffer would only add a full memory pass per batch.
 #ifdef PBFS_TRACING
   batch_span.AddArg("width", static_cast<uint64_t>(width));
+  {
+    // Every rider crossed the dispatch boundary together; the batch
+    // facts (width, sequence) are what explain a query that was fast
+    // alone but slow sharing a sweep with 63 strangers.
+    obs::QueryTraceStore& trace_store = obs::QueryTraceStore::Get();
+    for (const PendingQuery& q : batch) {
+      trace_store.Stamp(q.query.trace_id,
+                        obs::QueryStageBound::kDispatched, dispatch_ns);
+      trace_store.AnnotateBatch(q.query.trace_id,
+                                static_cast<uint32_t>(width), batch_seq);
+    }
+  }
 #endif
   levels_.resize(count * static_cast<size_t>(n));
   runner->ComputeLevels(sources, options, levels_.data());
+#ifdef PBFS_TRACING
+  const int64_t kernel_done_ns = NowNanos();
+#endif
   for (size_t i = 0; i < count; ++i) {
     QueryResult result =
         ExtractResult(batch[i].query, levels_.data() + i * n);
     result.snapshot_version = content_version;
+    result.trace_id = batch[i].query.trace_id;
+#ifdef PBFS_TRACING
+    {
+      obs::QueryTraceStore& trace_store = obs::QueryTraceStore::Get();
+      trace_store.Stamp(batch[i].query.trace_id,
+                        obs::QueryStageBound::kKernelDone, kernel_done_ns);
+      trace_store.AnnotateSnapshot(batch[i].query.trace_id, content_version);
+    }
+#endif
     batch[i].promise.set_value(std::move(result));
 #ifdef PBFS_TRACING
     TraceQueryDone(batch[i].id, QueryStatus::kOk);
+    FinishQueryTrace(batch[i].query.trace_id, QueryStatus::kOk, NowNanos());
 #endif
   }
   return width;

@@ -312,6 +312,11 @@ class QueryEngine {
   std::vector<std::pair<int, std::unique_ptr<BfsVariantRunner>>>
       batch_runners_;
   std::vector<Level> levels_;
+#ifdef PBFS_TRACING
+  // Dispatch sequence number linking per-query kernel stage spans to
+  // the engine.batch span they rode (obs/query_trace.h).
+  uint64_t batch_seq_ = 0;
+#endif
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;  // wakes the dispatcher

@@ -1,8 +1,10 @@
 #include "obs/chrome_trace.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 namespace pbfs {
 namespace obs {
@@ -51,6 +53,30 @@ void AppendEvent(std::ostream& os, const TraceEvent& event, uint64_t tid,
   os << '}';
 }
 
+// The query trace id carried by an event's `trace` argument, 0 if none.
+uint64_t EventTraceId(const TraceEvent& event) {
+  for (int i = 0; i < event.num_args; ++i) {
+    if (event.args[i].name != nullptr &&
+        std::strcmp(event.args[i].name, "trace") == 0) {
+      return event.args[i].value;
+    }
+  }
+  return 0;
+}
+
+// Flow event binding this thread's slice at `ts_ns` into the per-query
+// arrow chain identified by `trace_id`. The first emission for an id is
+// the flow start ("s"), later ones are steps ("t"); Perfetto links them
+// by id after sorting by timestamp.
+void AppendFlowEvent(std::ostream& os, uint64_t tid, int64_t ts_ns,
+                     int64_t base_ns, uint64_t trace_id, bool first) {
+  os << "{\"pid\":1,\"tid\":" << tid << ",\"ph\":\"" << (first ? 's' : 't')
+     << "\",\"cat\":\"query\",\"name\":\"query\",\"id\":" << trace_id
+     << ",\"ts\":";
+  AppendMicros(os, ts_ns, base_ns);
+  os << '}';
+}
+
 }  // namespace
 
 std::string JsonEscape(std::string_view s) {
@@ -87,9 +113,11 @@ std::string JsonEscape(std::string_view s) {
   return out;
 }
 
-void WriteChromeTrace(const TraceDump& dump, std::ostream& os) {
+void WriteChromeTrace(const TraceDump& dump, std::ostream& os,
+                      uint64_t only_trace_id) {
   os << "{\"traceEvents\":[";
   bool first = true;
+  std::unordered_set<uint64_t> flows_started;
   const int64_t base_ns = dump.session_start_ns;
   for (const TraceThreadDump& thread : dump.threads) {
     // Metadata: thread name shown on the Perfetto track.
@@ -99,27 +127,35 @@ void WriteChromeTrace(const TraceDump& dump, std::ostream& os) {
        << ",\"ph\":\"M\",\"name\":\"thread_name\",\"args\":{\"name\":\""
        << JsonEscape(thread.label) << "\"}}";
     for (const TraceEvent& event : thread.events) {
+      const uint64_t trace_id = EventTraceId(event);
+      if (only_trace_id != 0 && trace_id != only_trace_id) continue;
       os << ",\n";
       AppendEvent(os, event, thread.tid, base_ns);
+      if (trace_id != 0 && event.type == TraceEventType::kSpan) {
+        os << ",\n";
+        AppendFlowEvent(os, thread.tid, event.ts_ns, base_ns, trace_id,
+                        flows_started.insert(trace_id).second);
+      }
     }
   }
   os << "],\n\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
      << dump.total_dropped() << "}}\n";
 }
 
-std::string ChromeTraceJson(const TraceDump& dump) {
+std::string ChromeTraceJson(const TraceDump& dump, uint64_t only_trace_id) {
   std::ostringstream os;
-  WriteChromeTrace(dump, os);
+  WriteChromeTrace(dump, os, only_trace_id);
   return os.str();
 }
 
-bool WriteChromeTraceFile(const TraceDump& dump, const std::string& path) {
+bool WriteChromeTraceFile(const TraceDump& dump, const std::string& path,
+                          uint64_t only_trace_id) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write trace to %s\n", path.c_str());
     return false;
   }
-  WriteChromeTrace(dump, out);
+  WriteChromeTrace(dump, out, only_trace_id);
   return out.good();
 }
 

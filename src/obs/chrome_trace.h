@@ -9,6 +9,14 @@
 // instants to "i", counters to "C", and each thread gets a
 // "thread_name" metadata event carrying its label.
 //
+// Spans carrying a `trace` argument (per-query stage spans replayed by
+// QueryTraceStore, and engine spans annotated with the query's trace
+// id) additionally emit Chrome flow events (ph "s"/"t") keyed by that
+// id, so Perfetto draws one causal arrow chain per query across the
+// server and dispatcher threads — even when the query rode a shared
+// MS-PBFS batch. Pass `only_trace_id` to filter the export down to a
+// single query's tree (the /debug/trace?trace_id=N body).
+//
 // All names and labels are JSON-escaped, and a zero-event dump still
 // produces a valid document, so the output always parses.
 #ifndef PBFS_OBS_CHROME_TRACE_H_
@@ -28,14 +36,19 @@ namespace obs {
 // which is valid JSON as long as the input is UTF-8).
 std::string JsonEscape(std::string_view s);
 
-// Writes `dump` as Chrome trace_event JSON.
-void WriteChromeTrace(const TraceDump& dump, std::ostream& os);
+// Writes `dump` as Chrome trace_event JSON. `only_trace_id` != 0
+// restricts the export to events whose `trace` argument matches it
+// (thread-name metadata is always kept).
+void WriteChromeTrace(const TraceDump& dump, std::ostream& os,
+                      uint64_t only_trace_id = 0);
 
 // Convenience wrapper: serialize to a string.
-std::string ChromeTraceJson(const TraceDump& dump);
+std::string ChromeTraceJson(const TraceDump& dump,
+                            uint64_t only_trace_id = 0);
 
 // Writes to `path`; returns false (with a note on stderr) on I/O error.
-bool WriteChromeTraceFile(const TraceDump& dump, const std::string& path);
+bool WriteChromeTraceFile(const TraceDump& dump, const std::string& path,
+                          uint64_t only_trace_id = 0);
 
 }  // namespace obs
 }  // namespace pbfs

@@ -46,6 +46,13 @@ void SendAll(int fd, const char* data, size_t size) {
 }  // namespace
 
 void MetricsHttpServer::AddRoute(const std::string& path, Handler handler) {
+  routes_[path] = [handler = std::move(handler)](const std::string&) {
+    return handler();
+  };
+}
+
+void MetricsHttpServer::AddQueryRoute(const std::string& path,
+                                      QueryHandler handler) {
   routes_[path] = std::move(handler);
 }
 
@@ -143,15 +150,19 @@ void MetricsHttpServer::HandleConnection(int fd) {
     response.body = "only GET is supported\n";
   } else {
     std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    std::string query_string;
     const size_t query = path.find('?');
-    if (query != std::string::npos) path.resize(query);
+    if (query != std::string::npos) {
+      query_string = path.substr(query + 1);
+      path.resize(query);
+    }
     const auto route = routes_.find(path);
     if (route == routes_.end()) {
       response.status = 404;
       response.body = "no such endpoint; try /metrics, /healthz, "
                       "/debug/trace\n";
     } else {
-      response = route->second();
+      response = route->second(query_string);
     }
   }
   requests_.fetch_add(1, std::memory_order_relaxed);

@@ -36,6 +36,10 @@ class MetricsHttpServer {
   };
   // Invoked with the request path (query string stripped).
   using Handler = std::function<Response()>;
+  // Route variant that also receives the raw query string (the text
+  // after '?', without the '?'; empty when absent) — used by
+  // /debug/trace?trace_id=N and /debug/slowlog?trace_id=N.
+  using QueryHandler = std::function<Response(const std::string& query)>;
 
   struct Options {
     int port = 0;  // 0 = ephemeral
@@ -48,9 +52,11 @@ class MetricsHttpServer {
   MetricsHttpServer(const MetricsHttpServer&) = delete;
   MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
 
-  // Exact-match route. Register every route before Start(); the accept
-  // thread reads the table unlocked.
+  // Exact-match route (on the path; any query string is ignored).
+  // Register every route before Start(); the accept thread reads the
+  // table unlocked.
   void AddRoute(const std::string& path, Handler handler);
+  void AddQueryRoute(const std::string& path, QueryHandler handler);
 
   // Binds and starts the accept thread. Returns false (with the reason
   // on stderr) when the socket cannot be bound.
@@ -72,7 +78,7 @@ class MetricsHttpServer {
   void AcceptLoop();
   void HandleConnection(int fd);
 
-  std::map<std::string, Handler> routes_;
+  std::map<std::string, QueryHandler> routes_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> requests_{0};
   int listen_fd_ = -1;

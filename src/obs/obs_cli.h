@@ -7,9 +7,17 @@
 //                       audit and fold them into BENCH_<name>.json
 //   --serve-metrics=PORT  serve live telemetry over HTTP: /metrics
 //                       (Prometheus exposition), /healthz, /debug/trace
-//                       (flight-recorder snapshot as Chrome trace JSON).
+//                       (flight-recorder snapshot as Chrome trace JSON;
+//                       ?trace_id=N filters to one query's span tree),
+//                       /debug/slowlog (retained query-trace records as
+//                       JSON lines; ?trace_id=N filters).
 //                       0 binds an ephemeral port (printed on stderr);
 //                       the stall watchdog starts alongside the server.
+//   --slowlog-out=PATH  append each retained (slow/shed/expired/error/
+//                       sampled) query's JSON line to this file
+//   --trace-slow-ms=MS  absolute slow-query retention threshold for the
+//                       query trace store (<=0 disables; the rolling
+//                       p99-relative trigger stays active)
 //   --watchdog          run the stall watchdog without the HTTP server
 //   --watchdog-stall-ms / --watchdog-slow-query-ms / --watchdog-dump-dir
 //                       watchdog thresholds and flight-recorder dump
@@ -32,6 +40,8 @@
 #include "util/flags.h"
 
 #ifdef PBFS_TRACING
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <vector>
@@ -44,8 +54,10 @@
 #include "obs/metrics.h"
 #include "obs/numa_audit.h"
 #include "obs/perf_counters.h"
+#include "obs/query_trace.h"
 #include "obs/trace.h"
 #include "sched/worker_pool.h"
+#include "util/timer.h"
 #endif
 
 namespace pbfs {
@@ -82,6 +94,12 @@ class ObsCli {
     flags->AddString("watchdog-dump-dir", &watchdog_dump_dir_,
                      "directory for flight-recorder dumps on anomaly "
                      "(empty = no dumps)");
+    flags->AddString("slowlog-out", &slowlog_path_,
+                     "append retained query-trace records (JSON lines) "
+                     "to this file");
+    flags->AddDouble("trace-slow-ms", &trace_slow_ms_,
+                     "retain the span tree of any query slower than this "
+                     "(ms; <=0 disables the absolute threshold)");
   }
 
   bool profiling() const { return profile_; }
@@ -90,7 +108,7 @@ class ObsCli {
   }
   bool active() const {
     return profile_ || !trace_path_.empty() || !metrics_path_.empty() ||
-           serving_live();
+           !slowlog_path_.empty() || serving_live();
   }
 
   // The bench's JSON document (timings etc.); written by Finish() in
@@ -115,6 +133,32 @@ class ObsCli {
     }
     Tracer::Get().Start({});
     started_ = true;
+    {
+      // Query-trace retention: absolute threshold from the flag, JSON
+      // lines to the slowlog file when one was requested. Configure
+      // resets the store, so run state starts clean.
+      QueryTraceStore::Options qt;
+      qt.slow_ms = trace_slow_ms_;
+      if (!slowlog_path_.empty()) {
+        slowlog_file_ =
+            std::make_unique<std::ofstream>(slowlog_path_, std::ios::app);
+        if (!*slowlog_file_) {
+          std::fprintf(stderr, "cannot open --slowlog-out=%s\n",
+                       slowlog_path_.c_str());
+          slowlog_file_.reset();
+        } else {
+          std::ofstream* out = slowlog_file_.get();
+          qt.slowlog_sink = [out](const std::string& line) {
+            *out << line << '\n';
+            out->flush();
+          };
+        }
+      }
+      QueryTraceStore::Get().Configure(qt);
+      registry_.AddCollector(this, [](ExpositionWriter& writer) {
+        QueryTraceStore::Get().CollectMetrics(writer, NowNanos());
+      });
+    }
     if (serving_live()) {
       StallWatchdog::Options wd;
       wd.worker_stall_ms = watchdog_stall_ms_;
@@ -136,17 +180,25 @@ class ObsCli {
         response.body = "ok\n";
         return response;
       });
-      server_.AddRoute("/debug/trace", [] {
+      server_.AddQueryRoute("/debug/trace", [](const std::string& query) {
         // Flight recorder on demand: snapshot the live rings without
-        // stopping the session.
+        // stopping the session. ?trace_id=N keeps one query's tree.
         MetricsHttpServer::Response response;
         response.content_type = "application/json";
-        response.body = ChromeTraceJson(Tracer::Get().Snapshot());
+        response.body = ChromeTraceJson(Tracer::Get().Snapshot(),
+                                        ParseTraceIdQuery(query));
+        return response;
+      });
+      server_.AddQueryRoute("/debug/slowlog", [](const std::string& query) {
+        MetricsHttpServer::Response response;
+        response.content_type = "application/json";
+        response.body =
+            QueryTraceStore::Get().SlowlogJson(ParseTraceIdQuery(query));
         return response;
       });
       if (server_.Start(static_cast<int>(serve_metrics_port_))) {
         std::fprintf(stderr, "telemetry: serving http://127.0.0.1:%d"
-                     "/metrics /healthz /debug/trace\n",
+                     "/metrics /healthz /debug/trace /debug/slowlog\n",
                      server_.port());
       }
     }
@@ -174,6 +226,11 @@ class ObsCli {
     if (watchdog_flag_) {
       std::fprintf(stderr,
                    "--watchdog ignored: built with PBFS_TRACING=OFF\n");
+    }
+    if (!slowlog_path_.empty()) {
+      std::fprintf(stderr,
+                   "--slowlog-out=%s ignored: built with PBFS_TRACING=OFF\n",
+                   slowlog_path_.c_str());
     }
 #endif
   }
@@ -319,6 +376,16 @@ class ObsCli {
       watchdog_.reset();
     }
     server_.Stop();
+    registry_.RemoveCollectors(this);
+    if (slowlog_file_ != nullptr) {
+      // Detach the sink before the stream dies; the store outlives us.
+      QueryTraceStore::Options qt = QueryTraceStore::Get().options();
+      qt.slowlog_sink = nullptr;
+      QueryTraceStore::Get().Configure(qt);
+      slowlog_file_->flush();
+      slowlog_file_.reset();
+      std::fprintf(stderr, "slowlog: %s\n", slowlog_path_.c_str());
+    }
     if (started_) {
       const TraceDump dump = Tracer::Get().Stop();
       started_ = false;
@@ -351,6 +418,14 @@ class ObsCli {
 
  private:
 #ifdef PBFS_TRACING
+  // "trace_id=42" (anywhere in the query string) -> 42; 0 when absent
+  // or unparsable.
+  static uint64_t ParseTraceIdQuery(const std::string& query) {
+    const size_t pos = query.find("trace_id=");
+    if (pos == std::string::npos) return 0;
+    return std::strtoull(query.c_str() + pos + 9, nullptr, 10);
+  }
+
   void AppendProfileJson(const TraceDump& dump) {
     json_.AddBool("profile", true);
     json_.AddBool("counters_unavailable", !backend_available_);
@@ -432,10 +507,13 @@ class ObsCli {
   double watchdog_stall_ms_ = 1000;
   double watchdog_slow_query_ms_ = 1000;
   std::string watchdog_dump_dir_ = ".";
+  std::string slowlog_path_;
+  double trace_slow_ms_ = 250;
 #ifdef PBFS_TRACING
   MetricsRegistry registry_;
   MetricsHttpServer server_;
   std::unique_ptr<StallWatchdog> watchdog_;
+  std::unique_ptr<std::ofstream> slowlog_file_;
 #endif
 };
 

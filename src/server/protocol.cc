@@ -169,6 +169,10 @@ void EncodeQueryRequest(const QueryRequest& msg, std::string* out) {
   w.Put(msg.tolerance);
   w.Put(static_cast<uint32_t>(msg.targets.size()));
   for (Vertex t : msg.targets) w.Put(t);
+  if (msg.trace_id != 0) {
+    w.Put(static_cast<uint8_t>(msg.trace_sampled ? 1 : 0));
+    w.Put(msg.trace_id);
+  }
   w.Finish();
 }
 
@@ -254,11 +258,24 @@ DecodeStatus DecodeRequest(std::string_view buffer, size_t max_frame_bytes,
       }
       q.type = static_cast<QueryType>(type);
       q.priority = static_cast<Priority>(priority);
-      if (r.remaining() != size_t{num_targets} * sizeof(Vertex)) {
+      // Frames end either right after the targets (legacy client: the
+      // server mints a trace id) or after a 9-byte trace block.
+      const size_t targets_bytes = size_t{num_targets} * sizeof(Vertex);
+      constexpr size_t kTraceBlockBytes = 1 + sizeof(uint64_t);
+      const bool has_trace = r.remaining() == targets_bytes + kTraceBlockBytes;
+      if (!has_trace && r.remaining() != targets_bytes) {
         return Malformed(error, "target count disagrees with frame length");
       }
       q.targets.resize(num_targets);
       for (uint32_t i = 0; i < num_targets; ++i) r.Get(&q.targets[i]);
+      if (has_trace) {
+        uint8_t sampled = 0;
+        r.Get(&sampled);
+        r.Get(&q.trace_id);
+        if (sampled > 1) return Malformed(error, "sampled flag not 0/1");
+        if (q.trace_id == 0) return Malformed(error, "zero trace id");
+        q.trace_sampled = sampled != 0;
+      }
       break;
     }
     case static_cast<uint8_t>(MessageKind::kEdgeUpdates): {

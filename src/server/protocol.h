@@ -20,8 +20,18 @@
 //   kQuery:        u8 query_type, u8 priority, u32 source,
 //                  u32 deadline_ms (relative to receipt; 0 = none),
 //                  u16 max_hops, u16 tolerance,
-//                  u32 num_targets, u32 targets[num_targets]
+//                  u32 num_targets, u32 targets[num_targets],
+//                  [optional: u8 trace_sampled, u64 trace_id]
 //   kEdgeUpdates:  u32 num_updates, {u32 u, u32 v, u8 insert}[...]
+//
+// The trailing trace block is the client's distributed-tracing
+// context: a non-zero trace id this query should be recorded under,
+// and a sampled flag (1 forces span-tree retention server-side). It is
+// optional *by frame length*: a frame that ends after the targets is a
+// legacy frame and the server mints a trace id itself, so old clients
+// interoperate unchanged. When present the block must be exactly 9
+// bytes with a non-zero id and a 0/1 flag — anything else is
+// malformed, never guessed at.
 //
 // Response payloads (server -> client):
 //
@@ -82,6 +92,10 @@ struct QueryRequest {
   Level max_hops = 0;    // kKHop only
   Level tolerance = 0;   // kPointToPointDistance only
   std::vector<Vertex> targets;
+  // Client tracing context. Encoded (as the optional trailing block)
+  // only when trace_id != 0; trace_sampled is meaningful only then.
+  uint64_t trace_id = 0;
+  bool trace_sampled = false;
 
   bool operator==(const QueryRequest&) const = default;
 };

@@ -14,6 +14,10 @@
 #include "util/check.h"
 #include "util/timer.h"
 
+#ifdef PBFS_TRACING
+#include "obs/query_trace.h"
+#endif
+
 namespace pbfs {
 namespace server {
 
@@ -104,8 +108,27 @@ Query BuildQuery(const QueryRequest& req, int64_t deadline_ns) {
   q.tolerance = req.tolerance;
   q.max_hops = req.max_hops;
   q.deadline_ns = deadline_ns;
+  q.trace_id = req.trace_id;
+  q.trace_sampled = req.trace_sampled;
   return q;
 }
+
+#ifdef PBFS_TRACING
+obs::QueryOutcome OutcomeFor(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kOk:
+      return obs::QueryOutcome::kOk;
+    case QueryStatus::kDeadlineExceeded:
+      return obs::QueryOutcome::kExpired;
+    case QueryStatus::kShed:
+      return obs::QueryOutcome::kShed;
+    case QueryStatus::kInvalid:
+    case QueryStatus::kCancelled:
+      break;
+  }
+  return obs::QueryOutcome::kError;
+}
+#endif
 
 }  // namespace
 
@@ -175,6 +198,24 @@ void PbfsServer::HandleRequestsLocked(Conn& conn,
       ticket.deadline_ns = deadline_ns;
       ticket.rx_ns = now_ns;
       ticket.query = BuildQuery(q, deadline_ns);
+#ifdef PBFS_TRACING
+      // Open the trace entry at frame-decode time (kServer owner): the
+      // engine's own Begin/Finish then defer to it, so the record stays
+      // open until the response hits the wire. Client-supplied ids pass
+      // through; legacy frames get a minted one.
+      obs::QueryTraceStore& trace_store = obs::QueryTraceStore::Get();
+      if (ticket.query.trace_id == 0) {
+        ticket.query.trace_id = trace_store.MintTraceId();
+      }
+      const uint64_t trace_id = ticket.query.trace_id;
+      obs::QueryTraceStore::BeginInfo info;
+      info.request_id = q.request_id;
+      info.session_id = conn.session->id();
+      info.query_type = static_cast<uint8_t>(q.type);
+      info.priority = static_cast<uint8_t>(q.priority);
+      info.sampled = ticket.query.trace_sampled;
+      trace_store.Begin(trace_id, obs::TraceOwner::kServer, info, now_ns);
+#endif
       const AdmitResult r =
           admission_.Offer(std::move(ticket), engine_inflight_.load());
       if (r != AdmitResult::kAdmitted) {
@@ -183,6 +224,17 @@ void PbfsServer::HandleRequestsLocked(Conn& conn,
         resp.type = q.type;
         resp.status = QueryStatus::kShed;
         QueueQueryResponseLocked(conn, resp, now_ns, &next);
+#ifdef PBFS_TRACING
+        trace_store.SetShedReason(trace_id, r == AdmitResult::kShedQueueFull
+                                                ? "queue_full"
+                                                : "deadline");
+        trace_store.Finish(trace_id, obs::TraceOwner::kServer,
+                           obs::QueryOutcome::kShed, now_ns);
+#endif
+      } else {
+#ifdef PBFS_TRACING
+        trace_store.Stamp(trace_id, obs::QueryStageBound::kAdmitted, now_ns);
+#endif
       }
     }
     work = std::move(next);
@@ -201,6 +253,11 @@ void PbfsServer::SubmitLoop() {
     f.type = ticket.type;
     f.priority = ticket.priority;
     f.rx_ns = ticket.rx_ns;
+    f.trace_id = ticket.query.trace_id;
+#ifdef PBFS_TRACING
+    obs::QueryTraceStore::Get().Stamp(
+        f.trace_id, obs::QueryStageBound::kTaken, NowNanos());
+#endif
     if (expired) {
       // Missed its deadline while queued: answer without burning a
       // traversal. Routed through the completion queue so delivery
@@ -219,6 +276,12 @@ void PbfsServer::SubmitLoop() {
       }
       f.submit_ns = NowNanos();
       f.counted_inflight = true;
+#ifdef PBFS_TRACING
+      // Stamped before Submit so the engine's own (later) stamp of the
+      // same boundary is the no-op, not this one.
+      obs::QueryTraceStore::Get().Stamp(
+          f.trace_id, obs::QueryStageBound::kSubmitted, f.submit_ns);
+#endif
       QueryEngine::Submission sub = engine_->Submit(std::move(ticket.query));
       f.future = std::move(sub.result);
     }
@@ -271,20 +334,25 @@ void PbfsServer::CompletionLoop() {
     echo.request_id = f.request_id;
     echo.type = f.type;
     DeliverResponse(f.session_id, MakeResponse(echo, result), f.priority,
-                    f.rx_ns);
+                    f.rx_ns, f.trace_id);
   }
 }
 
 void PbfsServer::DeliverResponse(uint64_t session_id,
                                  const QueryResponse& resp, Priority priority,
-                                 int64_t rx_ns) {
+                                 int64_t rx_ns, uint64_t trace_id) {
   const int64_t now = NowNanos();
 #ifdef PBFS_TRACING
   latency_windows_[static_cast<int>(priority)].Add(
       static_cast<double>(now - rx_ns) * 1e-6, now);
+  // Closing here (not at engine completion) makes the record's wire
+  // latency span decode through tx-queue — the latency the client saw.
+  obs::QueryTraceStore::Get().Finish(trace_id, obs::TraceOwner::kServer,
+                                     OutcomeFor(resp.status), now);
 #else
   (void)priority;
   (void)rx_ns;
+  (void)trace_id;
 #endif
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -316,6 +384,25 @@ void PbfsServer::CloseConnLocked(Conn& conn) {
   conn.fd = -1;
 }
 
+bool PbfsServer::EvictLraLocked(int64_t now_ns) {
+  auto victim = conns_.end();
+  for (auto it = conns_.begin(); it != conns_.end(); ++it) {
+    if (it->second.session->state() == SessionState::kClosed) continue;
+    if (victim == conns_.end() ||
+        it->second.session->last_activity_ns() <
+            victim->second.session->last_activity_ns()) {
+      victim = it;
+    }
+  }
+  if (victim == conns_.end()) return false;
+  victim->second.session->OnEvicted(now_ns);
+  if (victim->second.session->state() != SessionState::kClosed) return false;
+  CloseConnLocked(victim->second);
+  conns_.erase(victim);
+  ++stats_.sessions_evicted;
+  return true;
+}
+
 void PbfsServer::PollLoop() {
   std::vector<pollfd> pfds;
   std::vector<uint64_t> ids;
@@ -327,8 +414,9 @@ void PbfsServer::PollLoop() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (stopping_ && conns_.empty()) break;
-      const bool accepting =
-          !stopping_ && conns_.size() < options_.max_sessions;
+      // Keep accepting at the connection cap: the accept path below
+      // evicts the least-recently-active session to make room.
+      const bool accepting = !stopping_;
       pfds.push_back({wake_pipe_[0], POLLIN, 0});
       pfds.push_back(
           {listen_fd_, static_cast<short>(accepting ? POLLIN : 0), 0});
@@ -353,7 +441,8 @@ void PbfsServer::PollLoop() {
       for (;;) {
         const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
         if (fd < 0) break;
-        if (stopping_ || conns_.size() >= options_.max_sessions) {
+        if (stopping_ ||
+            (conns_.size() >= options_.max_sessions && !EvictLraLocked(now))) {
           ::close(fd);
           continue;
         }
@@ -463,6 +552,10 @@ void PbfsServer::CollectLiveMetrics(obs::ExpositionWriter& writer) const {
        static_cast<double>(s.sessions_opened)},
       {"pbfs_server_sessions_closed_total", "Connections closed.",
        static_cast<double>(s.sessions_closed)},
+      {"pbfs_server_evicted_total",
+       "Sessions closed by least-recently-active eviction at the "
+       "connection cap.",
+       static_cast<double>(s.sessions_evicted)},
       {"pbfs_server_frames_rx_total", "Request frames decoded.",
        static_cast<double>(s.frames_rx)},
       {"pbfs_server_frames_tx_total", "Response frames queued.",
@@ -532,6 +625,23 @@ void PbfsServer::CollectLiveMetrics(obs::ExpositionWriter& writer) const {
       data.quantiles = {{0.5, w.p50}, {0.95, w.p95}, {0.99, w.p99}};
     }
     writer.SummarySamples("pbfs_server_request_latency_ms", labels, data);
+  }
+
+  // Exemplars: the trace id of the slowest retained query per priority,
+  // so a latency spike on the summary above links straight to its span
+  // tree (/debug/trace?trace_id=) and slowlog line.
+  writer.BeginFamily("pbfs_server_request_latency_exemplar",
+                     "Wire latency (ms) of the slowest retained query per "
+                     "priority; trace_id links to /debug/slowlog.",
+                     "gauge");
+  for (int p = 0; p < kNumPriorities; ++p) {
+    const obs::QueryTraceStore::Exemplar ex =
+        obs::QueryTraceStore::Get().exemplar(static_cast<uint8_t>(p));
+    if (ex.trace_id == 0) continue;
+    writer.Sample("pbfs_server_request_latency_exemplar",
+                  {{"priority", PriorityName(static_cast<Priority>(p))},
+                   {"trace_id", std::to_string(ex.trace_id)}},
+                  ex.latency_ms);
   }
 }
 

@@ -68,6 +68,9 @@ namespace server {
 struct ServerOptions {
   // 0 = kernel-assigned ephemeral port (read it back from port()).
   int port = 0;
+  // Connection cap. At the cap a new accept evicts the least-recently-
+  // active open session (close reason "evicted") instead of being
+  // turned away, so one idle fleet cannot lock out live clients.
   size_t max_sessions = 256;
   SessionOptions session;
   AdmissionController::Options admission;
@@ -82,6 +85,7 @@ struct ServerOptions {
 struct ServerStats {
   uint64_t sessions_opened = 0;
   uint64_t sessions_closed = 0;
+  uint64_t sessions_evicted = 0;  // closed by LRA eviction at the cap
   size_t sessions_active = 0;
   uint64_t frames_rx = 0;
   uint64_t frames_tx = 0;
@@ -133,6 +137,7 @@ class PbfsServer {
     Priority priority = Priority::kNormal;
     int64_t rx_ns = 0;
     int64_t submit_ns = 0;
+    uint64_t trace_id = 0;
     bool counted_inflight = false;  // true when it holds an engine slot
     std::future<QueryResult> future;
   };
@@ -151,12 +156,16 @@ class PbfsServer {
   void QueueQueryResponseLocked(Conn& conn, const QueryResponse& resp,
                                 int64_t now_ns,
                                 std::vector<Request>* resumed);
-  // Completion-thread side: find the session and deliver.
+  // Completion-thread side: find the session and deliver. trace_id
+  // closes the query-trace entry at wire-delivery time (0 = untraced).
   void DeliverResponse(uint64_t session_id, const QueryResponse& resp,
-                       Priority priority, int64_t rx_ns);
+                       Priority priority, int64_t rx_ns, uint64_t trace_id);
   void WakePoll();
   // Requires mu_. Close the fd and drop the session.
   void CloseConnLocked(Conn& conn);
+  // Requires mu_. Evict the least-recently-active open session to make
+  // room at the connection cap. Returns false if nothing was evictable.
+  bool EvictLraLocked(int64_t now_ns);
 
   static QueryResponse MakeResponse(const QueryRequest& req,
                                     const QueryResult& result);

@@ -49,6 +49,13 @@ constexpr SessionTransition kSessionTransitions[] = {
      SessionState::kDraining},
     {SessionState::kBackpressured, SessionEvent::kShutdown,
      SessionState::kDraining},
+    // Eviction reclaims the slot from every open state.
+    {SessionState::kAwaitFrame, SessionEvent::kEvicted,
+     SessionState::kClosed},
+    {SessionState::kInFrame, SessionEvent::kEvicted, SessionState::kClosed},
+    {SessionState::kBackpressured, SessionEvent::kEvicted,
+     SessionState::kClosed},
+    {SessionState::kDraining, SessionEvent::kEvicted, SessionState::kClosed},
     // Timers close every state that arms one.
     {SessionState::kAwaitFrame, SessionEvent::kTimeout,
      SessionState::kClosed},
@@ -115,6 +122,8 @@ const char* Session::EventName(SessionEvent event) {
       return "SHUTDOWN";
     case SessionEvent::kTimeout:
       return "TIMEOUT";
+    case SessionEvent::kEvicted:
+      return "EVICTED";
   }
   return "UNKNOWN";
 }
@@ -124,7 +133,10 @@ std::span<const SessionTransition> Session::Transitions() {
 }
 
 Session::Session(uint64_t id, const SessionOptions& options, int64_t now_ns)
-    : id_(id), options_(options), state_entered_ns_(now_ns) {}
+    : id_(id),
+      options_(options),
+      state_entered_ns_(now_ns),
+      last_activity_ns_(now_ns) {}
 
 double Session::StateTimeoutMs(SessionState state) const {
   switch (state) {
@@ -197,6 +209,7 @@ bool Session::OnBytes(std::string_view data, int64_t now_ns,
                       std::vector<Request>* out) {
   if (state_ == SessionState::kClosed) return false;
   if (state_ == SessionState::kDraining) return true;  // stray bytes dropped
+  last_activity_ns_ = now_ns;
   rx_.append(data);
   Fire(SessionEvent::kRxBytes, now_ns);
   DecodeLoop(now_ns, out);
@@ -212,6 +225,12 @@ void Session::OnPeerClosed(int64_t now_ns) {
 void Session::OnShutdown(int64_t now_ns) {
   shutdown_requested_ = true;
   Fire(SessionEvent::kShutdown, now_ns);
+}
+
+void Session::OnEvicted(int64_t now_ns) {
+  if (Fire(SessionEvent::kEvicted, now_ns)) {
+    close_reason_ = "evicted";
+  }
 }
 
 bool Session::OnTick(int64_t now_ns) {
@@ -233,6 +252,7 @@ bool Session::OnTick(int64_t now_ns) {
 void Session::OnResponseQueued(std::string_view encoded_frame, int64_t now_ns,
                                std::vector<Request>* resumed) {
   if (state_ == SessionState::kClosed) return;
+  last_activity_ns_ = now_ns;
   tx_.append(encoded_frame);
   if (inflight_ > 0) --inflight_;
   Fire(SessionEvent::kResponseQueued, now_ns);
@@ -244,6 +264,7 @@ void Session::OnResponseQueued(std::string_view encoded_frame, int64_t now_ns,
 }
 
 void Session::ConsumeTx(size_t n, int64_t now_ns) {
+  if (n > 0) last_activity_ns_ = now_ns;
   tx_.erase(0, n);
   if (state_ == SessionState::kDraining && tx_.empty() && inflight_ == 0) {
     close_reason_ = "drained";

@@ -64,6 +64,7 @@ enum class SessionEvent : uint8_t {
   kPeerClosed,     // EOF/reset from the peer
   kShutdown,       // server is stopping
   kTimeout,        // the active state's timer expired
+  kEvicted,        // server at its connection cap reclaimed this slot
 };
 
 // One row of the transition table. `to == kAutoResume` (sentinel) means
@@ -114,6 +115,9 @@ class Session {
                std::vector<Request>* out);
   void OnPeerClosed(int64_t now_ns);
   void OnShutdown(int64_t now_ns);
+  // Least-recently-active eviction: the server at its connection cap
+  // fires this to reclaim the slot. Closes from every open state.
+  void OnEvicted(int64_t now_ns);
   // Fire the active state's timer if it expired. Returns true while
   // the session is still open.
   bool OnTick(int64_t now_ns);
@@ -141,9 +145,13 @@ class Session {
   SessionState state() const { return state_; }
   size_t inflight() const { return inflight_; }
   size_t rx_buffered() const { return rx_.size(); }
+  // Monotonic timestamp of the last peer interaction (bytes received,
+  // response queued, or tx progress); construction time before any.
+  // The eviction policy's sort key.
+  int64_t last_activity_ns() const { return last_activity_ns_; }
   // Why the session reached kClosed ("" while open): "peer_closed",
   // "protocol_error", "idle_timeout", "frame_timeout",
-  // "backpressure_timeout", "drain_timeout", "drained".
+  // "backpressure_timeout", "drain_timeout", "drained", "evicted".
   const std::string& close_reason() const { return close_reason_; }
   // Last protocol decode error, for logs/metrics.
   const std::string& decode_error() const { return decode_error_; }
@@ -172,6 +180,7 @@ class Session {
   const SessionOptions options_;
   SessionState state_ = SessionState::kAwaitFrame;
   int64_t state_entered_ns_ = 0;
+  int64_t last_activity_ns_ = 0;
   std::string rx_;
   std::string tx_;
   size_t inflight_ = 0;

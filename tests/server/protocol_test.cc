@@ -244,8 +244,11 @@ TEST(ProtocolTest, MalformedFramesRejected) {
   }
   EXPECT_EQ(decode(trailing), DecodeStatus::kMalformed);
 
-  // Target count inconsistent with the payload length.
+  // Target count inconsistent with the payload length. Legacy layout
+  // (no trace block) so the count byte's offset from the tail is fixed.
   QueryRequest counted = base;
+  counted.trace_id = 0;
+  counted.trace_sampled = false;
   counted.targets = {1, 2, 3};
   std::string bad_count;
   EncodeQueryRequest(counted, &bad_count);
@@ -272,6 +275,75 @@ TEST(ProtocolTest, MalformedFramesRejected) {
   size_t rconsumed = 0;
   EXPECT_EQ(DecodeResponse(bad_status, kMaxResponseBytes, &rgot, &rconsumed),
             DecodeStatus::kMalformed);
+}
+
+// Backward compatibility: a frame without the optional trace block is
+// byte-identical to the pre-trace wire format and decodes with
+// trace_id == 0 (the server then mints one); the same request with a
+// trace context encodes exactly 9 extra trailing bytes.
+TEST(ProtocolTest, LegacyFrameWithoutTraceBlockDecodes) {
+  for (int trial = 0; trial < NumTrials(); ++trial) {
+    const uint64_t seed = TrialSeed(static_cast<uint64_t>(trial));
+    const std::string note = ReproNote(seed);
+    Rng rng(seed);
+    for (int i = 0; i < 100; ++i) {
+      QueryRequest legacy = RandomQueryRequest(rng, 1 << 16, rng.Next());
+      legacy.trace_id = 0;
+      legacy.trace_sampled = false;
+      std::string legacy_wire;
+      EncodeQueryRequest(legacy, &legacy_wire);
+
+      QueryRequest traced = legacy;
+      while (traced.trace_id == 0) traced.trace_id = rng.Next();
+      traced.trace_sampled = rng.NextBounded(2) == 0;
+      std::string traced_wire;
+      EncodeQueryRequest(traced, &traced_wire);
+      ASSERT_EQ(traced_wire.size(), legacy_wire.size() + 9) << note;
+
+      Request got;
+      size_t consumed = 0;
+      std::string error;
+      ASSERT_EQ(DecodeRequest(legacy_wire, kMaxRequestBytes, &got, &consumed,
+                              &error),
+                DecodeStatus::kOk)
+          << error << " " << note;
+      ASSERT_EQ(got.query.trace_id, 0u) << note;
+      ASSERT_FALSE(got.query.trace_sampled) << note;
+      ASSERT_EQ(got.query, legacy) << note;
+    }
+  }
+}
+
+// The trace block's two validity rules: the sampled flag is 0/1 and the
+// id is non-zero. Violations are kMalformed, never reinterpreted.
+TEST(ProtocolTest, MalformedTraceBlockRejected) {
+  Rng rng(TrialSeed(1));
+  QueryRequest req = RandomQueryRequest(rng, 1024, 11);
+  while (req.trace_id == 0) req.trace_id = rng.Next();
+  req.trace_sampled = true;
+  std::string valid;
+  EncodeQueryRequest(req, &valid);
+  // Trailing block layout: [u8 sampled][u64 trace_id].
+  const size_t sampled_offset = valid.size() - 9;
+
+  auto decode = [](const std::string& wire, std::string* error) {
+    Request got;
+    size_t consumed = 0;
+    return DecodeRequest(wire, kMaxRequestBytes, &got, &consumed, error);
+  };
+
+  std::string error;
+  ASSERT_EQ(decode(valid, &error), DecodeStatus::kOk) << error;
+
+  std::string bad_flag = valid;
+  bad_flag[sampled_offset] = 2;
+  EXPECT_EQ(decode(bad_flag, &error), DecodeStatus::kMalformed);
+  EXPECT_NE(error.find("sampled"), std::string::npos) << error;
+
+  std::string zero_id = valid;
+  for (size_t i = valid.size() - 8; i < valid.size(); ++i) zero_id[i] = 0;
+  EXPECT_EQ(decode(zero_id, &error), DecodeStatus::kMalformed);
+  EXPECT_NE(error.find("trace id"), std::string::npos) << error;
 }
 
 // Fuzz-lite: random single-byte mutations of valid frames must decode

@@ -16,6 +16,9 @@
 #include "differential/diff_util.h"
 #include "dynamic/dynamic_util.h"
 #include "graph/generators.h"
+#ifdef PBFS_TRACING
+#include "obs/query_trace.h"
+#endif
 #include "sched/worker_pool.h"
 #include "server/client.h"
 #include "server/server.h"
@@ -275,6 +278,127 @@ TEST(ServerE2eTest, GracefulStopUnderPendingLoadDoesNotHang) {
   srv.Stop();
   SUCCEED();
 }
+
+// At the connection cap the server reclaims the least-recently-active
+// session instead of refusing the newcomer; the evicted peer sees its
+// connection close and the stats count the eviction.
+TEST(ServerE2eTest, ConnectionCapEvictsLeastRecentlyActive) {
+  const Graph graph = ErdosRenyi(64, 128, 6);
+  WorkerPool pool({.num_workers = 2, .pin_threads = false});
+  QueryEngine engine(graph, &pool);
+  ServerOptions opts;
+  opts.max_sessions = 2;
+  PbfsServer srv(&engine, opts);
+  ASSERT_TRUE(srv.Start());
+
+  auto query = [&](PbfsClient& client, uint64_t id) {
+    QueryRequest req;
+    req.request_id = id;
+    req.type = QueryType::kLevels;
+    req.source = 0;
+    QueryResponse resp;
+    std::string error;
+    ASSERT_TRUE(client.Call(req, &resp, &error)) << error;
+    ASSERT_EQ(resp.status, QueryStatus::kOk);
+  };
+
+  PbfsClient a;
+  ASSERT_TRUE(a.Connect({.port = srv.port()}));
+  query(a, 1);
+  PbfsClient b;
+  ASSERT_TRUE(b.Connect({.port = srv.port()}));
+  query(b, 2);  // b is now the more recently active of the two
+
+  // Third connection: the cap forces out a — the least recently active.
+  PbfsClient c;
+  ASSERT_TRUE(c.Connect({.port = srv.port()}));
+  query(c, 3);
+  for (int i = 0; i < 100 && srv.GetStats().sessions_evicted == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(srv.GetStats().sessions_evicted, 1u);
+
+  // The evicted peer's connection is dead; the survivors still answer.
+  Response stale;
+  std::string error;
+  EXPECT_FALSE(a.ReadResponse(&stale, &error));
+  query(b, 4);
+  query(c, 5);
+  srv.Stop();
+}
+
+#ifdef PBFS_TRACING
+// A client-supplied trace context survives the whole pipeline: the
+// sampled query's span tree lands in the flight recorder under the
+// client's id, with the record's stage durations telescoping to its
+// wire latency and carrying the snapshot it actually ran on.
+TEST(ServerE2eTest, ClientTraceIdFlowsToRetainedRecord) {
+  obs::QueryTraceStore& store = obs::QueryTraceStore::Get();
+  obs::QueryTraceStore::Options trace_opts;
+  trace_opts.slow_ms = 0;     // only sampled/shed/error retain:
+  trace_opts.p99_factor = 0;  // deterministic regardless of timing
+  trace_opts.emit_spans = false;
+  store.Configure(trace_opts);
+
+  const Graph graph = ErdosRenyi(128, 512, 7);
+  WorkerPool pool({.num_workers = 2, .pin_threads = false});
+  QueryEngine engine(graph, &pool);
+  PbfsServer srv(&engine, {});
+  ASSERT_TRUE(srv.Start());
+
+  PbfsClient client;
+  ASSERT_TRUE(client.Connect({.port = srv.port()}));
+  constexpr uint64_t kClientTraceId = 0xABCDEF0123456789ULL;
+  QueryRequest req;
+  req.request_id = 77;
+  req.type = QueryType::kLevels;
+  req.source = 3;
+  req.trace_id = kClientTraceId;
+  req.trace_sampled = true;
+  QueryResponse resp;
+  std::string error;
+  ASSERT_TRUE(client.Call(req, &resp, &error)) << error;
+  ASSERT_EQ(resp.status, QueryStatus::kOk);
+
+  // The server Finishes the trace on the completion thread as it queues
+  // the response, so it may land a beat after the client reads it.
+  std::vector<obs::QueryTraceRecord> retained;
+  for (int i = 0; i < 100; ++i) {
+    retained = store.Retained();
+    if (!retained.empty()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(retained.size(), 1u);
+  const obs::QueryTraceRecord& r = retained[0];
+  EXPECT_EQ(r.trace_id, kClientTraceId);
+  EXPECT_EQ(r.request_id, 77u);
+  EXPECT_NE(r.session_id, 0u);
+  EXPECT_TRUE(r.sampled);
+  EXPECT_STREQ(r.retain_reason, "sampled");
+  EXPECT_EQ(r.outcome, obs::QueryOutcome::kOk);
+  EXPECT_EQ(r.snapshot_version, resp.snapshot_version);
+  EXPECT_GT(r.wire_latency_ns, 0);
+  int64_t stage_sum = 0;
+  for (int i = 0; i < obs::kNumQueryStageSpans; ++i) {
+    EXPECT_GE(r.StageDurNs(i), 0) << "stage " << i;
+    stage_sum += r.StageDurNs(i);
+  }
+  EXPECT_EQ(stage_sum, r.wire_latency_ns);
+
+  // An unsampled fast query through the same pipeline retains nothing.
+  req.request_id = 78;
+  req.trace_id = 0;
+  req.trace_sampled = false;
+  ASSERT_TRUE(client.Call(req, &resp, &error)) << error;
+  for (int i = 0; i < 100 && store.GetStats(0).discarded_total == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(store.Retained().size(), 1u);
+  EXPECT_GE(store.GetStats(0).discarded_total, 1u);
+  srv.Stop();
+  store.Configure(obs::QueryTraceStore::Options());  // restore defaults
+}
+#endif  // PBFS_TRACING
 
 }  // namespace
 }  // namespace server

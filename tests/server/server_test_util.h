@@ -50,6 +50,12 @@ inline QueryRequest RandomQueryRequest(Rng& rng, Vertex n,
       req.tolerance = 0;
       break;
   }
+  // Half the corpus carries a client trace context (the optional
+  // trailing wire block), half is the legacy frame layout.
+  if (rng.NextBounded(2) == 0) {
+    while (req.trace_id == 0) req.trace_id = rng.Next();
+    req.trace_sampled = rng.NextBounded(4) == 0;
+  }
   return req;
 }
 

@@ -258,6 +258,76 @@ TEST(SessionFsmTest, PeerCloseFromEveryOpenState) {
   EXPECT_EQ(b.state(), SessionState::kClosed);
 }
 
+TEST(SessionFsmTest, EvictionClosesFromEveryOpenState) {
+  // kAwaitFrame.
+  Session a(1, SmallTimeouts(), 0);
+  a.OnEvicted(1 * kMs);
+  EXPECT_EQ(a.state(), SessionState::kClosed);
+  EXPECT_EQ(a.close_reason(), "evicted");
+
+  // kInFrame.
+  Session b(2, SmallTimeouts(), 0);
+  std::vector<Request> out;
+  ASSERT_TRUE(b.OnBytes(QueryFrame(1).substr(0, 2), 0, &out));
+  ASSERT_EQ(b.state(), SessionState::kInFrame);
+  b.OnEvicted(1 * kMs);
+  EXPECT_EQ(b.state(), SessionState::kClosed);
+  EXPECT_EQ(b.close_reason(), "evicted");
+
+  // kBackpressured.
+  SessionOptions o = SmallTimeouts();
+  o.max_inflight = 1;
+  o.resume_inflight = 0;
+  Session c(3, o, 0);
+  ASSERT_TRUE(c.OnBytes(QueryFrame(1), 0, &out));
+  ASSERT_EQ(c.state(), SessionState::kBackpressured);
+  c.OnEvicted(1 * kMs);
+  EXPECT_EQ(c.state(), SessionState::kClosed);
+  EXPECT_EQ(c.close_reason(), "evicted");
+
+  // kDraining.
+  Session d(4, SmallTimeouts(), 0);
+  out.clear();
+  ASSERT_TRUE(d.OnBytes(QueryFrame(1), 0, &out));
+  d.OnShutdown(1 * kMs);
+  ASSERT_EQ(d.state(), SessionState::kDraining);
+  d.OnEvicted(2 * kMs);
+  EXPECT_EQ(d.state(), SessionState::kClosed);
+  EXPECT_EQ(d.close_reason(), "evicted");
+
+  // Already closed: ignored, close_reason untouched.
+  Session e(5, SmallTimeouts(), 0);
+  e.OnPeerClosed(0);
+  e.OnEvicted(1 * kMs);
+  EXPECT_EQ(e.close_reason(), "peer_closed");
+}
+
+// last_activity_ns drives the server's least-recently-active victim
+// choice; it must advance on every sign of life — received bytes,
+// queued responses, consumed tx — and on nothing else.
+TEST(SessionFsmTest, LastActivityTracksTraffic) {
+  Session s(1, SmallTimeouts(), 7 * kMs);
+  EXPECT_EQ(s.last_activity_ns(), 7 * kMs);
+
+  std::vector<Request> out;
+  ASSERT_TRUE(s.OnBytes(QueryFrame(1), 10 * kMs, &out));
+  EXPECT_EQ(s.last_activity_ns(), 10 * kMs);
+
+  // Ticks are the poll loop's clock, not peer traffic.
+  EXPECT_TRUE(s.OnTick(20 * kMs));
+  EXPECT_EQ(s.last_activity_ns(), 10 * kMs);
+
+  std::vector<Request> resumed;
+  s.OnResponseQueued("resp", 30 * kMs, &resumed);
+  EXPECT_EQ(s.last_activity_ns(), 30 * kMs);
+
+  // A zero-byte flush is not activity; a real one is.
+  s.ConsumeTx(0, 40 * kMs);
+  EXPECT_EQ(s.last_activity_ns(), 30 * kMs);
+  s.ConsumeTx(1, 41 * kMs);
+  EXPECT_EQ(s.last_activity_ns(), 41 * kMs);
+}
+
 }  // namespace
 }  // namespace server
 }  // namespace pbfs

@@ -22,7 +22,18 @@
 //   PBFS_SOAK_P99_MS              accepted p99 gate    (default 500)
 //   PBFS_SOAK_OVERLOAD_SECONDS    overload-test budget (default 2)
 //   PBFS_SOAK_OVERLOAD_P99_MS     overload p99 gate    (default 2000)
+//   PBFS_SOAK_TRACE_SLOW_MS       slow-retention threshold (default 250)
+//   PBFS_SOAK_TRACE_RETAINED      flight-recorder ring cap (default 128Ki)
+//   PBFS_SOAK_STATS_JSON          write run summary JSON here (optional)
+//   PBFS_SOAK_SLOWLOG             write slow-query JSON lines here (optional)
 //   PBFS_DIFF_SEED                corpus seed (printed in every banner)
+//
+// Tracing builds additionally gate the tail-retention contract: every
+// client stamps its queries with deterministic trace ids, and after the
+// run >= 99% of the shed/expired ones must have a span tree in the
+// flight recorder, every retained record's stage durations must
+// telescope to exactly its wire latency, fast unsampled queries must
+// retain nothing, and the ring must stay within its cap.
 
 #include <algorithm>
 #include <atomic>
@@ -56,12 +67,17 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <unordered_set>
 
 #include "engine/query_engine.h"
 #include "obs/live/http_server.h"
 #include "obs/live/metrics_registry.h"
 #include "obs/live/stall_watchdog.h"
+#include "obs/query_trace.h"
 #endif
 
 namespace pbfs {
@@ -126,8 +142,12 @@ struct ClientTally {
   uint64_t shed = 0;
   uint64_t deadline_exceeded = 0;
   uint64_t mismatches = 0;
+  uint64_t sampled_ok = 0;  // ok responses whose request was sampled
   std::vector<double> ok_latency_ms;
   std::vector<DeferredDiff> deferred;
+  // Trace ids of shed/expired responses: the tail-retention gate
+  // requires their span trees in the flight recorder after the run.
+  std::vector<uint64_t> interesting_trace_ids;
   std::string first_mismatch;
 };
 
@@ -217,9 +237,37 @@ TEST(SoakTest, MixedWorkloadWithChurnMatchesVersionedOracle) {
   // live /metrics endpoint, and the stall watchdog over the engine's
   // in-flight table and the pool's heartbeats. The soak gates on the
   // watchdog staying silent and the endpoint staying scrapeable.
+  // Flight recorder: absolute threshold only (the p99-relative trigger
+  // would make "what retains" depend on the run's own latency
+  // distribution — useless as a deterministic gate), ring sized so a
+  // full-length soak's interesting tail fits.
+  const double trace_slow_ms =
+      static_cast<double>(EnvOr("PBFS_SOAK_TRACE_SLOW_MS", 250));
+  obs::QueryTraceStore& trace_store = obs::QueryTraceStore::Get();
+  obs::QueryTraceStore::Options trace_opts;
+  trace_opts.slow_ms = trace_slow_ms;
+  trace_opts.p99_factor = 0;
+  trace_opts.max_open = 1 << 16;
+  trace_opts.max_retained =
+      static_cast<size_t>(EnvOr("PBFS_SOAK_TRACE_RETAINED", 128 * 1024));
+  std::unique_ptr<std::ofstream> slowlog_file;
+  const char* slowlog_path = std::getenv("PBFS_SOAK_SLOWLOG");
+  if (slowlog_path != nullptr && slowlog_path[0] != '\0') {
+    slowlog_file = std::make_unique<std::ofstream>(slowlog_path,
+                                                   std::ios::trunc);
+    std::ofstream* out = slowlog_file.get();
+    trace_opts.slowlog_sink = [out](const std::string& line) {
+      *out << line << '\n';
+    };
+  }
+  trace_store.Configure(trace_opts);
+
   obs::MetricsRegistry registry;
   engine.ExportLiveMetrics(&registry);
   srv.ExportLiveMetrics(&registry);
+  registry.AddCollector(&trace_store, [](obs::ExpositionWriter& writer) {
+    obs::QueryTraceStore::Get().CollectMetrics(writer, NowNanos());
+  });
   obs::StallWatchdog::Options wd_options;
   wd_options.slow_query_ms = 5000;
   wd_options.worker_stall_ms = 5000;
@@ -333,6 +381,13 @@ TEST(SoakTest, MixedWorkloadWithChurnMatchesVersionedOracle) {
           // A slice of the traffic carries deadlines so the
           // deadline-shedding path sees sustained, realistic load.
           if (rng.NextBounded(10) == 0) req.deadline_ms = 250;
+          // Deterministic client-owned trace context (overriding the
+          // random one): the tail-retention gate below looks these ids
+          // up in the flight recorder, so the client must know exactly
+          // which id each request carried. ~1/64 are client-sampled.
+          req.trace_id =
+              (static_cast<uint64_t>(c + 1) << 40) | req.request_id;
+          req.trace_sampled = rng.NextBounded(64) == 0;
           ASSERT_TRUE(client.SendQuery(req)) << note;
           const int64_t sent_ns = NowNanos();
           outstanding.emplace(req.request_id,
@@ -355,15 +410,18 @@ TEST(SoakTest, MixedWorkloadWithChurnMatchesVersionedOracle) {
         switch (resp.query.status) {
           case QueryStatus::kOk:
             ++tally.ok;
+            if (req.trace_sampled) ++tally.sampled_ok;
             tally.ok_latency_ms.push_back(
                 static_cast<double>(NowNanos() - it->second.second) * 1e-6);
             DiffAgainstOracle(oracle, req, resp.query, &tally);
             break;
           case QueryStatus::kShed:
             ++tally.shed;
+            tally.interesting_trace_ids.push_back(req.trace_id);
             break;
           case QueryStatus::kDeadlineExceeded:
             ++tally.deadline_exceeded;
+            tally.interesting_trace_ids.push_back(req.trace_id);
             break;
           default:
             ADD_FAILURE() << "unexpected status "
@@ -384,7 +442,8 @@ TEST(SoakTest, MixedWorkloadWithChurnMatchesVersionedOracle) {
     while (!stop.load(std::memory_order_relaxed)) {
       const std::string body = HttpGet(http.port(), "/metrics");
       if (body.find("pbfs_server_admitted_total") == std::string::npos ||
-          body.find("pbfs_server_request_latency_ms") == std::string::npos) {
+          body.find("pbfs_server_request_latency_ms") == std::string::npos ||
+          body.find("pbfs_query_trace_open") == std::string::npos) {
         scrape_failures.fetch_add(1, std::memory_order_relaxed);
       }
       scrapes.fetch_add(1, std::memory_order_relaxed);
@@ -462,9 +521,106 @@ TEST(SoakTest, MixedWorkloadWithChurnMatchesVersionedOracle) {
   for (const char* family :
        {"pbfs_server_sessions_opened_total", "pbfs_server_frames_rx_total",
         "pbfs_server_shed_total", "pbfs_server_updates_total",
-        "pbfs_server_request_latency_ms"}) {
+        "pbfs_server_request_latency_ms", "pbfs_server_evicted_total",
+        "pbfs_server_request_latency_exemplar", "pbfs_query_trace_open",
+        "pbfs_query_trace_retained", "pbfs_query_trace_retained_total",
+        "pbfs_query_trace_discarded_total",
+        "pbfs_query_trace_slow_threshold_ms"}) {
     EXPECT_NE(final_scrape.find(family), std::string::npos)
         << family << " missing from exposition " << note;
+  }
+
+  // ---- Tail-retention gate ----
+  // Every shed/expired query the clients observed must have its span
+  // tree in the flight recorder (the ring is sized not to wrap in this
+  // run, so coverage failures mean the pipeline lost a trace).
+  const std::vector<obs::QueryTraceRecord> retained = trace_store.Retained();
+  std::unordered_set<uint64_t> retained_ids;
+  retained_ids.reserve(retained.size());
+  for (const obs::QueryTraceRecord& r : retained) {
+    retained_ids.insert(r.trace_id);
+    // The telescoping identity holds for every record, not within 5%
+    // but exactly: Finish forward-fills and clamps by construction.
+    int64_t stage_sum = 0;
+    for (int i = 0; i < obs::kNumQueryStageSpans; ++i) {
+      ASSERT_GE(r.StageDurNs(i), 0)
+          << "trace " << r.trace_id << " stage " << i << " " << note;
+      stage_sum += r.StageDurNs(i);
+    }
+    ASSERT_EQ(stage_sum, r.wire_latency_ns) << "trace " << r.trace_id << " "
+                                            << note;
+    // Fast unsampled queries must not be here: an ok-outcome record is
+    // either client-sampled or over the slow threshold.
+    if (r.outcome == obs::QueryOutcome::kOk && !r.sampled) {
+      ASSERT_GE(static_cast<double>(r.wire_latency_ns) * 1e-6,
+                trace_slow_ms)
+          << "fast query retained: trace " << r.trace_id << " " << note;
+    }
+  }
+  EXPECT_LE(retained.size(), trace_opts.max_retained) << note;
+
+  uint64_t interesting = 0;
+  uint64_t covered = 0;
+  uint64_t total_sampled_ok = 0;
+  for (const ClientTally& tally : tallies) {
+    total_sampled_ok += tally.sampled_ok;
+    for (const uint64_t id : tally.interesting_trace_ids) {
+      ++interesting;
+      covered += retained_ids.count(id);
+    }
+  }
+  if (interesting > 0) {
+    EXPECT_GE(static_cast<double>(covered),
+              0.99 * static_cast<double>(interesting))
+        << covered << "/" << interesting << " shed/expired traces retained "
+        << note;
+  }
+  const obs::QueryTraceStore::Stats trace_stats = trace_store.GetStats(
+      NowNanos());
+  // The bulk of the traffic is fast and unsampled: discards must
+  // dominate, proving retention really is tail-based.
+  EXPECT_GT(trace_stats.discarded_total, 0u) << note;
+  // Client-sampled fast queries are the one way an ok query retains
+  // below the threshold; the books must agree with the clients.
+  EXPECT_GE(trace_stats.retained_sampled, total_sampled_ok) << note;
+  EXPECT_EQ(trace_stats.open, 0u) << "traces leaked open " << note;
+
+  // ---- Artifacts (nightly soak uploads these) ----
+  if (slowlog_file != nullptr) slowlog_file->flush();
+  const char* stats_path = std::getenv("PBFS_SOAK_STATS_JSON");
+  if (stats_path != nullptr && stats_path[0] != '\0') {
+    std::ofstream stats_out(stats_path, std::ios::trunc);
+    char line[512];
+    std::snprintf(
+        line, sizeof(line),
+        "{\"seconds\":%.1f,\"clients\":%d,\"window\":%d,"
+        "\"sent\":%llu,\"ok\":%llu,\"shed\":%llu,\"deadline\":%llu,"
+        "\"update_batches\":%llu,\"p50_ms\":%.3f,\"p99_ms\":%.3f,",
+        run_seconds, num_clients, window,
+        static_cast<unsigned long long>(total_sent),
+        static_cast<unsigned long long>(total_ok),
+        static_cast<unsigned long long>(total_shed),
+        static_cast<unsigned long long>(total_deadline),
+        static_cast<unsigned long long>(updates_acked.load()), p50, p99);
+    stats_out << line;
+    std::snprintf(
+        line, sizeof(line),
+        "\"trace_retained\":%llu,\"trace_retained_slow\":%llu,"
+        "\"trace_retained_shed\":%llu,\"trace_retained_expired\":%llu,"
+        "\"trace_retained_sampled\":%llu,\"trace_discarded\":%llu,"
+        "\"trace_dropped\":%llu,\"trace_interesting\":%llu,"
+        "\"trace_covered\":%llu,\"scrapes\":%llu}\n",
+        static_cast<unsigned long long>(trace_stats.retained),
+        static_cast<unsigned long long>(trace_stats.retained_slow),
+        static_cast<unsigned long long>(trace_stats.retained_shed),
+        static_cast<unsigned long long>(trace_stats.retained_expired),
+        static_cast<unsigned long long>(trace_stats.retained_sampled),
+        static_cast<unsigned long long>(trace_stats.discarded_total),
+        static_cast<unsigned long long>(trace_stats.dropped_total),
+        static_cast<unsigned long long>(interesting),
+        static_cast<unsigned long long>(covered),
+        static_cast<unsigned long long>(scrapes.load()));
+    stats_out << line;
   }
   watchdog.Stop();
   http.Stop();
