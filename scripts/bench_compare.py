@@ -145,6 +145,17 @@ def main():
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond "
               f"{args.threshold:.1%}: {', '.join(regressions)}")
+        # When both documents carry a sampled profile, name the phase
+        # behind the regression: the (variant, level, direction) rows
+        # with the largest cycle/sample growth, with the frames the new
+        # samples landed in.
+        try:
+            import perf_attribution
+            print("\nphase attribution (candidate vs baseline):")
+            print(perf_attribution.report_regression(
+                args.baseline, args.candidate))
+        except ImportError:
+            pass
         if args.warn_only:
             print("--warn-only: reporting without failing")
             return 0

@@ -1,0 +1,309 @@
+#!/usr/bin/env python3
+"""Per-phase perf attribution reports from profiler output.
+
+Reads the `profiler` section of a BENCH_*.json (written by any bench
+run with --profile) or a folded-stack file (written by --profile-out,
+/debug/pprof, or a watchdog episode dump), and prints the "worst
+levels" table: one row per (variant, level, direction) phase, ranked
+by attributed cycles (falling back to samples, then wall time, when
+hardware counters were unavailable).
+
+With two inputs it diffs them, ranking phases by cycle delta, so a
+perf regression names the phase that regressed and the frames the new
+samples landed in:
+
+    ./bench/engine_throughput --profile && mv BENCH_*.json base.json
+    # ... apply a change, rebuild ...
+    ./bench/engine_throughput --profile && mv BENCH_*.json cand.json
+    python3 scripts/perf_attribution.py base.json cand.json
+
+scripts/bench_compare.py imports report_regression() to name the
+regressed phase whenever one of its gated metrics trips.
+
+Diffing a file against itself prints "no phase deltas" and exits 0
+(the CI self-check). Exit status is 0 unless an input is unreadable:
+this is an analysis tool, not a gate -- gating lives in
+bench_compare.py.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+_PHASE_RE = re.compile(r"^(?P<variant>.*)/L(?P<level>\d+)/(?P<dir>bu|td)$")
+
+
+def parse_phase_label(label):
+    """'ms-pbfs/L5/bu' -> (variant, level, direction) tuple."""
+    match = _PHASE_RE.match(label)
+    if not match:
+        return (label, -1, "none")
+    direction = "bottom_up" if match.group("dir") == "bu" else "top_down"
+    return (match.group("variant"), int(match.group("level")), direction)
+
+
+def phase_label(phase):
+    variant, level, direction = phase["variant"], phase["level"], phase["direction"]
+    if level < 0:
+        return variant
+    suffix = "bu" if direction == "bottom_up" else "td"
+    return f"{variant}/L{level}/{suffix}"
+
+
+def _phases_from_folded(lines):
+    """Fold `phase;frame;...;leaf count` lines into per-phase rows."""
+    by_phase = {}
+    for line in lines:
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        stack, _, count_text = line.rpartition(" ")
+        try:
+            count = int(count_text)
+        except ValueError:
+            continue
+        frames = stack.split(";")
+        variant, level, direction = parse_phase_label(frames[0])
+        key = (variant, level, direction)
+        phase = by_phase.setdefault(
+            key,
+            {
+                "phase": frames[0],
+                "variant": variant,
+                "level": level,
+                "direction": direction,
+                "samples": 0,
+                "cycles": 0,
+                "wall_ms": 0.0,
+                "_leaf_counts": {},
+            },
+        )
+        phase["samples"] += count
+        if len(frames) > 1:
+            leaf = frames[-1]
+            phase["_leaf_counts"][leaf] = phase["_leaf_counts"].get(leaf, 0) + count
+    total = sum(p["samples"] for p in by_phase.values())
+    for phase in by_phase.values():
+        phase["samples_pct"] = (
+            100.0 * phase["samples"] / total if total else 0.0
+        )
+        ranked = sorted(
+            phase.pop("_leaf_counts").items(), key=lambda kv: -kv[1]
+        )
+        phase["top_frames"] = [frame for frame, _ in ranked[:3]]
+    return sorted(by_phase.values(), key=_rank_key)
+
+
+def load_phases(path):
+    """Phase rows from a BENCH_*.json or a folded-stack file.
+
+    Returns (phases, sampler) where sampler is the stats dict from a
+    BENCH document ({} for folded files). Raises ValueError when a
+    BENCH document carries the profiler_unavailable marker instead of
+    a profile.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        doc = json.loads(text)
+        if doc.get("profiler_unavailable"):
+            raise ValueError(
+                f"{path}: profiler_unavailable "
+                f"({doc.get('profiler_unavailable_reason', 'no reason recorded')})"
+            )
+        profiler = doc.get("profiler")
+        if not isinstance(profiler, dict):
+            raise ValueError(
+                f"{path}: no `profiler` section -- was the bench run with "
+                "--profile and sampling enabled?"
+            )
+        phases = sorted(profiler.get("phases", []), key=_rank_key)
+        return phases, profiler.get("sampler", {})
+    return _phases_from_folded(text.splitlines()), {}
+
+
+def _rank_key(phase):
+    """Worst first: cycles, then samples, then wall time."""
+    return (
+        -phase.get("cycles", 0),
+        -phase.get("samples", 0),
+        -phase.get("wall_ms", 0.0),
+    )
+
+
+def _fmt_count(value):
+    if value >= 10_000_000:
+        return f"{value / 1e6:.0f}M"
+    if value >= 10_000:
+        return f"{value / 1e3:.0f}k"
+    return str(value)
+
+
+def report(phases, sampler=None, max_rows=12):
+    """Single-profile 'worst levels' table as a string."""
+    lines = []
+    if sampler:
+        lines.append(
+            "sampler: {} backend, {} samples at {} Hz, "
+            "{} dropped, overhead {:.2%}".format(
+                sampler.get("backend", "?"),
+                sampler.get("samples", 0),
+                sampler.get("sample_hz", 0),
+                sampler.get("dropped", 0),
+                sampler.get("overhead_frac", 0.0),
+            )
+        )
+    if not phases:
+        lines.append("no phases recorded")
+        return "\n".join(lines)
+    width = max(len(phase_label(p)) for p in phases[:max_rows])
+    width = max(width, len("phase"))
+    lines.append(
+        f"{'phase':<{width}}  {'samples':>8} {'smp%':>6} {'cycles':>8} "
+        f"{'ipc':>5} {'llcB/edge':>9} {'wall_ms':>9}  top frames"
+    )
+    for phase in phases[:max_rows]:
+        ipc = phase.get("ipc")
+        llc = phase.get("llc_bytes_per_edge")
+        lines.append(
+            "{:<{width}}  {:>8} {:>6.1f} {:>8} {:>5} {:>9} {:>9.1f}  {}".format(
+                phase_label(phase),
+                _fmt_count(phase.get("samples", 0)),
+                phase.get("samples_pct", 0.0),
+                _fmt_count(phase.get("cycles", 0)),
+                f"{ipc:.2f}" if ipc is not None else "-",
+                f"{llc:.1f}" if llc is not None else "-",
+                phase.get("wall_ms", 0.0),
+                " | ".join(phase.get("top_frames", [])),
+                width=width,
+            )
+        )
+    if len(phases) > max_rows:
+        lines.append(f"... {len(phases) - max_rows} more phase(s)")
+    return "\n".join(lines)
+
+
+def diff_phases(base_phases, cand_phases):
+    """Per-phase deltas, worst (most-regressed) first.
+
+    Returns a list of dicts with the candidate row's identity plus
+    delta_cycles / delta_samples / delta_wall_ms. Phases present in
+    only one profile diff against zero. Phases with no delta at all
+    are omitted, so a self-diff returns [].
+    """
+    def by_key(phases):
+        return {
+            (p["variant"], p["level"], p["direction"]): p for p in phases
+        }
+
+    base, cand = by_key(base_phases), by_key(cand_phases)
+    deltas = []
+    for key in sorted(set(base) | set(cand), key=str):
+        b = base.get(key, {})
+        c = cand.get(key, {})
+        delta = {
+            "variant": key[0],
+            "level": key[1],
+            "direction": key[2],
+            "delta_cycles": c.get("cycles", 0) - b.get("cycles", 0),
+            "delta_samples": c.get("samples", 0) - b.get("samples", 0),
+            "delta_wall_ms": c.get("wall_ms", 0.0) - b.get("wall_ms", 0.0),
+            "top_frames": c.get("top_frames", b.get("top_frames", [])),
+        }
+        if (
+            delta["delta_cycles"] == 0
+            and delta["delta_samples"] == 0
+            and abs(delta["delta_wall_ms"]) < 1e-9
+        ):
+            continue
+        deltas.append(delta)
+    deltas.sort(
+        key=lambda d: (
+            -d["delta_cycles"],
+            -d["delta_samples"],
+            -d["delta_wall_ms"],
+        )
+    )
+    return deltas
+
+
+def diff_report(base_phases, cand_phases, max_rows=10):
+    """Human-readable phase-delta table; names the worst phase first."""
+    deltas = diff_phases(base_phases, cand_phases)
+    if not deltas:
+        return "no phase deltas between the two profiles"
+    width = max(len(phase_label(d)) for d in deltas[:max_rows])
+    width = max(width, len("phase"))
+    lines = [
+        f"{'phase':<{width}}  {'d_cycles':>10} {'d_samples':>10} "
+        f"{'d_wall_ms':>10}  top frames"
+    ]
+    for delta in deltas[:max_rows]:
+        lines.append(
+            "{:<{width}}  {:>+10} {:>+10} {:>+10.1f}  {}".format(
+                phase_label(delta),
+                delta["delta_cycles"],
+                delta["delta_samples"],
+                delta["delta_wall_ms"],
+                " | ".join(delta["top_frames"]),
+                width=width,
+            )
+        )
+    if len(deltas) > max_rows:
+        lines.append(f"... {len(deltas) - max_rows} more phase(s)")
+    worst = deltas[0]
+    lines.append(
+        "worst phase: {} ({:+} cycles, {:+} samples); frames: {}".format(
+            phase_label(worst),
+            worst["delta_cycles"],
+            worst["delta_samples"],
+            " | ".join(worst["top_frames"]) or "(none)",
+        )
+    )
+    return "\n".join(lines)
+
+
+def report_regression(baseline_path, candidate_path):
+    """bench_compare.py hook: the phase-delta report for a gated
+    regression, or a one-line explanation when profiles are missing."""
+    try:
+        base_phases, _ = load_phases(baseline_path)
+        cand_phases, _ = load_phases(candidate_path)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        return f"phase attribution unavailable: {error}"
+    return diff_report(base_phases, cand_phases)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Per-phase perf attribution from BENCH_*.json or "
+        "folded-stack profiles; with two inputs, a phase-delta diff."
+    )
+    parser.add_argument("profile", help="BENCH_*.json or folded-stack file")
+    parser.add_argument(
+        "candidate",
+        nargs="?",
+        help="second profile to diff against the first (first = baseline)",
+    )
+    parser.add_argument(
+        "--max-rows", type=int, default=12, help="rows to print (default 12)"
+    )
+    args = parser.parse_args()
+
+    try:
+        phases, sampler = load_phases(args.profile)
+        if args.candidate is None:
+            print(report(phases, sampler, args.max_rows))
+            return 0
+        cand_phases, _ = load_phases(args.candidate)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(diff_report(phases, cand_phases, args.max_rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,61 @@
 #!/usr/bin/env bash
-# Runs every evaluation harness and captures the output, as shipped in
-# bench_output.txt. Pass a build directory as $1 (default: build).
+# Runs every evaluation harness and collects its artifacts under
+# bench/out/<timestamp>/ (with a bench/out/latest symlink):
+#
+#   <name>.txt              stdout of the run
+#   BENCH_<name>.json       bench document (profile-capable benches run
+#                           with --profile, so it includes counter
+#                           totals and the profiler's per-phase
+#                           attribution table)
+#   METRICS_<name>.json     aggregated trace metrics (--metrics-out)
+#   <name>.folded           sampled stacks (--profile-out), loadable in
+#                           speedscope / flamegraph.pl, diffable with
+#                           scripts/perf_attribution.py
+#
+# Benches that do not register the observability CLI run bare and only
+# produce the .txt capture. Pass a build directory as $1 (default:
+# build). Prints the output directory on exit so CI can upload it.
 set -u
 BUILD_DIR="${1:-build}"
+STAMP="$(date +%Y%m%d-%H%M%S)"
+OUT_DIR="bench/out/${STAMP}"
+mkdir -p "$OUT_DIR"
+
+# Benches wired to ObsCli (grep bench/*.cc for ObsCli when adding one):
+# these understand --profile / --metrics-out / --profile-out and emit
+# BENCH_<name>.json into the current directory.
+PROFILE_BENCHES="engine_throughput fig02_utilization fig06_visited_neighbors \
+fig07_updated_states fig09_worker_skew fig11_thread_scaling sketch_oracle"
+
+is_profile_bench() {
+  local name="$1"
+  for p in $PROFILE_BENCHES; do
+    [ "$p" = "$name" ] && return 0
+  done
+  return 1
+}
+
 for b in "$BUILD_DIR"/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
-  echo "### $(basename "$b")"
-  "$b"
+  name="$(basename "$b")"
+  abs="$(cd "$(dirname "$b")" && pwd)/$name"
+  echo "### $name"
+  if is_profile_bench "$name"; then
+    (cd "$OUT_DIR" &&
+     "$abs" --profile \
+        --metrics-out="METRICS_${name}.json" \
+        --profile-out="${name}.folded" \
+        > "${name}.txt" 2>&1)
+    status=$?
+    tail -n 5 "$OUT_DIR/${name}.txt"
+  else
+    "$b" > "$OUT_DIR/${name}.txt" 2>&1
+    status=$?
+    tail -n 5 "$OUT_DIR/${name}.txt"
+  fi
+  [ $status -ne 0 ] && echo "WARNING: $name exited with status $status"
   echo
 done
+
+ln -sfn "$STAMP" bench/out/latest
+echo "artifacts: $OUT_DIR"

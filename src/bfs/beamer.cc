@@ -168,11 +168,11 @@ BfsResult BeamerBfs(const Graph& graph, Vertex source, BeamerVariant variant,
 #ifdef PBFS_TRACING
   const bool tracing = obs::Tracer::Get().enabled();
   // The level-span name is dynamic (one per Beamer variant), so it goes
-  // through the interner rather than a string literal.
-  const char* level_span_name =
-      tracing ? obs::Tracer::Intern(std::string(BeamerVariantName(variant)) +
-                                    ".level")
-              : nullptr;
+  // through the interner rather than a string literal. Interned even
+  // when no trace session is active: the name doubles as the sampling
+  // profiler's phase tag, which works tracer-less.
+  const char* level_span_name = obs::Tracer::Intern(
+      std::string(BeamerVariantName(variant)) + ".level");
   obs::ScopedSpan run_span(
       tracing ? obs::Tracer::Intern(std::string(BeamerVariantName(variant)) +
                                     ".run")
@@ -231,7 +231,9 @@ BfsResult BeamerBfs(const Graph& graph, Vertex source, BeamerVariant variant,
     // scout count carried over from the previous iteration.
     uint64_t edges_scanned = bottom_up ? 0 : scout_count;
 #ifdef PBFS_TRACING
-    const obs::BfsLevelProbe level_probe = obs::BeginBfsLevel(tracing);
+    const obs::BfsLevelProbe level_probe = obs::BeginBfsLevel(
+        tracing, level_span_name, depth,
+        bottom_up ? Direction::kBottomUp : Direction::kTopDown);
     const uint64_t frontier_entering = frontier_count;
 #endif
     if (bottom_up) {

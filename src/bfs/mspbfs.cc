@@ -141,7 +141,9 @@ class MsPbfs final : public MultiSourceBfsBase {
       for (WorkerReduction& r : reduction_) r = WorkerReduction{};
       Timer iteration_timer;
 #ifdef PBFS_TRACING
-      const obs::BfsLevelProbe level_probe = obs::BeginBfsLevel(tracing);
+      const obs::BfsLevelProbe level_probe = obs::BeginBfsLevel(
+          tracing, "ms-pbfs.level", depth,
+          bottom_up ? Direction::kBottomUp : Direction::kTopDown);
 #endif
 
       if (!bottom_up) {

@@ -106,7 +106,9 @@ class QueuePbfs final : public SingleSourceBfsBase {
       for (WorkerReduction& r : reduction_) r = WorkerReduction{};
       Timer iteration_timer;
 #ifdef PBFS_TRACING
-      const obs::BfsLevelProbe level_probe = obs::BeginBfsLevel(tracing);
+      const obs::BfsLevelProbe level_probe = obs::BeginBfsLevel(
+          tracing, "queue-pbfs.level", depth,
+          bottom_up ? Direction::kBottomUp : Direction::kTopDown);
       const uint64_t trace_frontier = frontier_size;
 #endif
 

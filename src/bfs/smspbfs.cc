@@ -141,7 +141,8 @@ class SmsPbfsByte final : public SingleSourceBfsBase {
       for (WorkerReduction& r : reduction_) r = WorkerReduction{};
       Timer iteration_timer;
 #ifdef PBFS_TRACING
-      const obs::BfsLevelProbe level_probe = obs::BeginBfsLevel(tracing);
+      const obs::BfsLevelProbe level_probe =
+          obs::BeginBfsLevel(tracing, kTraceLevelName, depth, direction);
 #endif
 
       if (direction == Direction::kTopDown) {
@@ -363,7 +364,8 @@ class SmsPbfsBit final : public SingleSourceBfsBase {
       for (WorkerReduction& r : reduction_) r = WorkerReduction{};
       Timer iteration_timer;
 #ifdef PBFS_TRACING
-      const obs::BfsLevelProbe level_probe = obs::BeginBfsLevel(tracing);
+      const obs::BfsLevelProbe level_probe =
+          obs::BeginBfsLevel(tracing, kTraceLevelName, depth, direction);
 #endif
 
       if (direction == Direction::kTopDown) {

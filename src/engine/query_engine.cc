@@ -13,6 +13,7 @@
 
 #ifdef PBFS_TRACING
 #include "obs/live/metrics_registry.h"
+#include "obs/profiler/sampling_profiler.h"
 #include "obs/query_trace.h"
 #include "obs/trace.h"
 #endif
@@ -456,6 +457,7 @@ bool QueryEngine::IsValid(const Query& query) const {
 void QueryEngine::DispatcherMain() {
 #ifdef PBFS_TRACING
   obs::Tracer::SetThreadLabel("engine-dispatcher", -1);
+  obs::SamplingProfiler::RegisterCurrentThread();
 #endif
   const int64_t linger_ns =
       static_cast<int64_t>(options_.coalesce_wait_ms * 1e6);

@@ -23,6 +23,7 @@
 
 #include "bfs/common.h"
 #include "obs/perf_counters.h"
+#include "obs/profiler/phase_tag.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 
@@ -34,18 +35,38 @@ namespace obs {
 // deltas cover the whole level — with the counters inherited by nothing
 // (per-thread groups), this is the coordinator's view; per-worker
 // attribution comes from the scheduler's worker spans.
+//
+// The probe is also the publisher of the global BFS phase tag read by
+// the sampling profiler's signal handler: construction announces
+// (variant, level, direction), destruction — at the end of the level's
+// loop iteration — clears it. The tag is set unconditionally (two
+// relaxed stores), because the profiler runs with or without an active
+// Tracer session.
 struct BfsLevelProbe {
   int64_t start_ns = 0;
   PerfSample perf_begin;
+
+  BfsLevelProbe(bool tracing, const char* name, Level depth,
+                Direction direction) {
+    SetCurrentBfsPhase(name, static_cast<uint32_t>(depth),
+                       direction == Direction::kBottomUp);
+    if (tracing) {
+      start_ns = NowNanos();
+      perf_begin = PerfCounters::ReadCurrentThread();
+    }
+  }
+
+  BfsLevelProbe(const BfsLevelProbe&) = delete;
+  BfsLevelProbe& operator=(const BfsLevelProbe&) = delete;
+
+  ~BfsLevelProbe() { ClearCurrentBfsPhase(); }
 };
 
-inline BfsLevelProbe BeginBfsLevel(bool tracing) {
-  BfsLevelProbe probe;
-  if (tracing) {
-    probe.start_ns = NowNanos();
-    probe.perf_begin = PerfCounters::ReadCurrentThread();
-  }
-  return probe;
+// Returns a prvalue, so the deleted copy constructor is never needed
+// (guaranteed elision): call sites keep their by-value initialization.
+inline BfsLevelProbe BeginBfsLevel(bool tracing, const char* name, Level depth,
+                                   Direction direction) {
+  return BfsLevelProbe(tracing, name, depth, direction);
 }
 
 // Emits the per-level span for the iteration snapshot `iter` (the one

@@ -4,7 +4,11 @@
 #include <chrono>
 #include <cstdio>
 
+#include <fstream>
+
 #include "obs/chrome_trace.h"
+#include "obs/profiler/phase_profile.h"
+#include "obs/profiler/symbolize.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -78,6 +82,7 @@ void StallWatchdog::PollOnce() {
   std::lock_guard<std::mutex> lock(mutex_);
   const int64_t now = clock_();
   ++stats_.polls;
+  RefreshProfileBaseline(now);
   const int64_t stall_ns =
       static_cast<int64_t>(options_.worker_stall_ms * 1e6);
   const int64_t slow_ns = static_cast<int64_t>(options_.slow_query_ms * 1e6);
@@ -182,6 +187,7 @@ void StallWatchdog::Report(int category, const std::string& line,
     std::fprintf(stderr, "[watchdog] slow-query: %s\n", line.c_str());
   }
   DumpFlightRecorder(now);
+  DumpEpisodeProfile(now);
 }
 
 void StallWatchdog::DumpFlightRecorder(int64_t now) {
@@ -205,6 +211,38 @@ void StallWatchdog::DumpFlightRecorder(int64_t now) {
                  static_cast<unsigned long long>(dump.total_events()),
                  dump.threads.size(), path.c_str());
   }
+}
+
+void StallWatchdog::RefreshProfileBaseline(int64_t now) {
+  if (!SamplingProfiler::Get().running()) return;
+  // About one poll past a second old: the episode profile below then
+  // covers roughly the last second before the anomaly.
+  if (profile_baseline_ns_ != 0 && now - profile_baseline_ns_ < 1000000000) {
+    return;
+  }
+  profile_baseline_ = SamplingProfiler::Get().Snapshot();
+  profile_baseline_ns_ = now;
+}
+
+void StallWatchdog::DumpEpisodeProfile(int64_t now) {
+  if (options_.dump_dir.empty()) return;
+  if (!SamplingProfiler::Get().running()) return;
+  const ProfileCounts delta =
+      SubtractProfiles(SamplingProfiler::Get().Snapshot(), profile_baseline_);
+  const std::string path =
+      options_.dump_dir + "/profile_" + std::to_string(now) + ".folded";
+  std::ofstream out(path);
+  if (!out) return;
+  Symbolizer symbolizer;
+  out << FoldedProfileText(delta, &symbolizer);
+  out.close();
+  ++stats_.profiles_written;
+  stats_.last_profile_path = path;
+  std::fprintf(stderr,
+               "[watchdog] episode profile: %llu samples over ~%.1f s -> "
+               "%s\n",
+               static_cast<unsigned long long>(delta.SampleSum()),
+               static_cast<double>(now - profile_baseline_ns_) / 1e9, path.c_str());
 }
 
 StallWatchdog::Stats StallWatchdog::stats() const {

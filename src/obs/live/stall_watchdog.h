@@ -21,7 +21,12 @@
 // increment, and one flight-recorder dump — the live Tracer rings
 // snapshotted (Tracer::Snapshot(), the session keeps running) and
 // written as a timestamped Chrome trace covering the window before the
-// anomaly. Reports debounce: a stalled worker reports once per stall
+// anomaly. When the sampling profiler is running, each report also
+// writes an episode profile next to the trace dump: the poll loop
+// keeps a rolling profile baseline about one second old, and the dump
+// is the folded-stack delta since that baseline — roughly the last
+// second of CPU samples, i.e. what the process was *doing* while the
+// anomaly fired. Reports debounce: a stalled worker reports once per stall
 // episode (epoch movement re-arms it), a slow query reports once per
 // id, and each category holds a cooldown so one bad batch produces one
 // report, not one per poll tick.
@@ -46,6 +51,7 @@
 #include <vector>
 
 #include "obs/live/metrics_registry.h"
+#include "obs/profiler/sampling_profiler.h"
 
 namespace pbfs {
 namespace obs {
@@ -91,7 +97,9 @@ class StallWatchdog {
     uint64_t slow_query_reports = 0;
     uint64_t reports_suppressed = 0;  // anomalies inside a cooldown
     uint64_t dumps_written = 0;
+    uint64_t profiles_written = 0;  // episode profiles alongside dumps
     std::string last_dump_path;
+    std::string last_profile_path;
     std::string last_report;  // most recent report line, for tests/ops
   };
 
@@ -131,6 +139,10 @@ class StallWatchdog {
   // cooldown. Category: 0 = worker stall, 1 = slow query.
   void Report(int category, const std::string& line, int64_t now);
   void DumpFlightRecorder(int64_t now);
+  // Folded-stack delta since the rolling baseline -> dump_dir.
+  void DumpEpisodeProfile(int64_t now);
+  // Refreshes the rolling baseline once it is about a second old.
+  void RefreshProfileBaseline(int64_t now);
 
   const Options options_;
   std::function<int64_t()> clock_;
@@ -147,6 +159,8 @@ class StallWatchdog {
   std::map<std::pair<size_t, int>, WorkerState> worker_states_;
   std::unordered_set<uint64_t> reported_query_ids_;
   int64_t last_report_ns_[2] = {0, 0};  // per category; 0 = never
+  ProfileCounts profile_baseline_;
+  int64_t profile_baseline_ns_ = 0;
 
   Stats stats_;
   MetricsRegistry::Counter* stall_counter_ = nullptr;

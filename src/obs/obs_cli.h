@@ -3,14 +3,28 @@
 //
 //   --trace-out=PATH    write a Chrome trace_event JSON file
 //   --metrics-out=PATH  write an aggregated MetricsSnapshot JSON file
-//   --profile           record hardware counters + a NUMA placement
-//                       audit and fold them into BENCH_<name>.json
+//   --profile           record hardware counters + stack samples + a
+//                       NUMA placement audit and fold them into
+//                       BENCH_<name>.json (sampler stats + the
+//                       per-phase attribution table)
+//   --profile-out=PATH  write the sampled stacks as a folded-stack
+//                       file (FlameGraph/speedscope "collapsed"
+//                       format); implies sampling even without
+//                       --profile
+//   --profile-sample-hz=HZ  sampling rate (default 97; 0 disables the
+//                       sampler entirely)
 //   --serve-metrics=PORT  serve live telemetry over HTTP: /metrics
 //                       (Prometheus exposition), /healthz, /debug/trace
 //                       (flight-recorder snapshot as Chrome trace JSON;
 //                       ?trace_id=N filters to one query's span tree),
 //                       /debug/slowlog (retained query-trace records as
-//                       JSON lines; ?trace_id=N filters).
+//                       JSON lines; ?trace_id=N filters), /debug/vars
+//                       (aggregated metrics as JSON), /debug/pprof
+//                       (profile since start, or ?seconds=N delta;
+//                       folded by default, ?format=json for the
+//                       attribution payload). The sampling profiler
+//                       runs for the server's lifetime, so delta
+//                       profiles work on live servers.
 //                       0 binds an ephemeral port (printed on stderr);
 //                       the stall watchdog starts alongside the server.
 //   --slowlog-out=PATH  append each retained (slow/shed/expired/error/
@@ -40,10 +54,12 @@
 #include "util/flags.h"
 
 #ifdef PBFS_TRACING
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "engine/query_engine.h"
@@ -54,6 +70,9 @@
 #include "obs/metrics.h"
 #include "obs/numa_audit.h"
 #include "obs/perf_counters.h"
+#include "obs/profiler/phase_profile.h"
+#include "obs/profiler/sampling_profiler.h"
+#include "obs/profiler/symbolize.h"
 #include "obs/query_trace.h"
 #include "obs/trace.h"
 #include "sched/worker_pool.h"
@@ -81,6 +100,12 @@ class ObsCli {
     flags->AddBool("profile", &profile_,
                    "record hardware counters and a NUMA placement audit; "
                    "writes BENCH_<name>.json");
+    flags->AddString("profile-out", &profile_out_path_,
+                     "write sampled stacks as a folded-stack file "
+                     "(speedscope/FlameGraph collapsed format)");
+    flags->AddInt64("profile-sample-hz", &profile_sample_hz_,
+                    "stack sampling rate for the profiler (0 = no "
+                    "sampling)");
     flags->AddInt64("serve-metrics", &serve_metrics_port_,
                     "serve /metrics, /healthz, /debug/trace on this port "
                     "(0 = ephemeral, -1 = off)");
@@ -103,12 +128,17 @@ class ObsCli {
   }
 
   bool profiling() const { return profile_; }
+  bool sampling() const {
+    return profile_sample_hz_ > 0 &&
+           (profile_ || !profile_out_path_.empty() || serving_live());
+  }
   bool serving_live() const {
     return serve_metrics_port_ >= 0 || watchdog_flag_;
   }
   bool active() const {
     return profile_ || !trace_path_.empty() || !metrics_path_.empty() ||
-           !slowlog_path_.empty() || serving_live();
+           !profile_out_path_.empty() || !slowlog_path_.empty() ||
+           serving_live();
   }
 
   // The bench's JSON document (timings etc.); written by Finish() in
@@ -133,6 +163,15 @@ class ObsCli {
     }
     Tracer::Get().Start({});
     started_ = true;
+    if (sampling()) {
+      SamplingProfiler::Options prof;
+      prof.sample_hz = static_cast<int>(profile_sample_hz_);
+      profiler_started_ = SamplingProfiler::Get().Start(prof);
+      if (!profiler_started_) {
+        std::fprintf(stderr, "profiler: sampling unavailable: %s\n",
+                     SamplingProfiler::Get().unavailable_reason());
+      }
+    }
     {
       // Query-trace retention: absolute threshold from the flag, JSON
       // lines to the slowlog file when one was requested. Configure
@@ -180,6 +219,17 @@ class ObsCli {
         response.body = "ok\n";
         return response;
       });
+      server_.AddRoute("/debug/vars", [] {
+        // Machine-readable mirror of /metrics: the aggregated
+        // MetricsSnapshot of the live rings, as JSON.
+        MetricsHttpServer::Response response;
+        response.content_type = "application/json";
+        response.body = MetricsJson(AggregateMetrics(Tracer::Get().Snapshot()));
+        return response;
+      });
+      server_.AddQueryRoute("/debug/pprof", [](const std::string& query) {
+        return PprofResponse(query);
+      });
       server_.AddQueryRoute("/debug/trace", [](const std::string& query) {
         // Flight recorder on demand: snapshot the live rings without
         // stopping the session. ?trace_id=N keeps one query's tree.
@@ -198,7 +248,8 @@ class ObsCli {
       });
       if (server_.Start(static_cast<int>(serve_metrics_port_))) {
         std::fprintf(stderr, "telemetry: serving http://127.0.0.1:%d"
-                     "/metrics /healthz /debug/trace /debug/slowlog\n",
+                     "/metrics /healthz /debug/trace /debug/slowlog "
+                     "/debug/vars /debug/pprof\n",
                      server_.port());
       }
     }
@@ -216,6 +267,11 @@ class ObsCli {
     if (profile_) {
       std::fprintf(stderr,
                    "--profile ignored: built with PBFS_TRACING=OFF\n");
+    }
+    if (!profile_out_path_.empty()) {
+      std::fprintf(stderr,
+                   "--profile-out=%s ignored: built with PBFS_TRACING=OFF\n",
+                   profile_out_path_.c_str());
     }
     if (serve_metrics_port_ >= 0) {
       std::fprintf(stderr,
@@ -386,6 +442,15 @@ class ObsCli {
       slowlog_file_.reset();
       std::fprintf(stderr, "slowlog: %s\n", slowlog_path_.c_str());
     }
+    ProfileCounts prof_counts;
+    SamplingProfiler::Stats prof_stats;
+    if (profiler_started_) {
+      // Capture before Stop(): the fold table survives Stop, but the
+      // overhead clock does not tick past it.
+      prof_counts = SamplingProfiler::Get().Snapshot();
+      prof_stats = SamplingProfiler::Get().stats();
+      SamplingProfiler::Get().Stop();
+    }
     if (started_) {
       const TraceDump dump = Tracer::Get().Stop();
       started_ = false;
@@ -400,11 +465,27 @@ class ObsCli {
         std::fprintf(stderr, "metrics: %zu entries -> %s\n",
                      snapshot.entries.size(), metrics_path_.c_str());
       }
+      if (profiler_started_ && !profile_out_path_.empty()) {
+        Symbolizer symbolizer;
+        std::ofstream out(profile_out_path_);
+        if (!out) {
+          std::fprintf(stderr, "cannot open --profile-out=%s\n",
+                       profile_out_path_.c_str());
+        } else {
+          out << FoldedProfileText(prof_counts, &symbolizer);
+          std::fprintf(stderr,
+                       "profile: %llu samples (%s backend) -> %s\n",
+                       static_cast<unsigned long long>(
+                           prof_counts.SampleSum()),
+                       prof_stats.backend, profile_out_path_.c_str());
+        }
+      }
       if (profile_) {
         std::printf("\n== profile: aggregated metrics ==\n%s",
                     snapshot.ToString().c_str());
         if (!numa_text_.empty()) std::printf("%s\n", numa_text_.c_str());
         AppendProfileJson(dump);
+        AppendProfilerJson(dump, prof_counts, prof_stats);
         PerfCounters::Disable();
       }
     }
@@ -424,6 +505,78 @@ class ObsCli {
     const size_t pos = query.find("trace_id=");
     if (pos == std::string::npos) return 0;
     return std::strtoull(query.c_str() + pos + 9, nullptr, 10);
+  }
+
+  // /debug/pprof: the profile since profiler start, or — with
+  // ?seconds=N (clamped to 30) — a delta captured by sleeping on the
+  // accept thread, which the one-connection-at-a-time server design
+  // explicitly permits. ?format=json returns the sampler stats +
+  // attribution table + stacks; the default is the folded-stack text.
+  static MetricsHttpServer::Response PprofResponse(const std::string& query) {
+    MetricsHttpServer::Response response;
+    SamplingProfiler& profiler = SamplingProfiler::Get();
+    if (!profiler.running()) {
+      response.status = 503;
+      response.body = std::string("profiler_unavailable: ") +
+                      profiler.unavailable_reason() + "\n";
+      return response;
+    }
+    long seconds = 0;
+    const size_t pos = query.find("seconds=");
+    if (pos != std::string::npos) {
+      seconds = std::strtol(query.c_str() + pos + 8, nullptr, 10);
+      if (seconds < 0) seconds = 0;
+      if (seconds > 30) seconds = 30;
+    }
+    ProfileCounts counts = profiler.Snapshot();
+    if (seconds > 0) {
+      const ProfileCounts base = std::move(counts);
+      std::this_thread::sleep_for(std::chrono::seconds(seconds));
+      counts = SubtractProfiles(profiler.Snapshot(), base);
+    }
+    Symbolizer symbolizer;
+    if (query.find("format=json") != std::string::npos) {
+      PhaseProfileStore store;
+      store.SetSamples(std::move(counts));
+      store.MergeSpans(Tracer::Get().Snapshot());
+      const PhaseAttribution attribution =
+          store.BuildAttribution(&symbolizer);
+      response.content_type = "application/json";
+      response.body = ProfileJson(store.samples(), profiler.stats(),
+                                  attribution, &symbolizer);
+    } else {
+      response.body = FoldedProfileText(counts, &symbolizer);
+    }
+    return response;
+  }
+
+  // The BENCH_<name>.json `profiler` section: sampler stats plus the
+  // per-phase attribution table scripts/perf_attribution.py consumes;
+  // an explicit `profiler_unavailable` marker when sampling was
+  // requested but no backend could run (PBFS_PROFILER_DISABLE, or
+  // perf denied *and* setitimer failing).
+  void AppendProfilerJson(const TraceDump& dump,
+                          const ProfileCounts& counts,
+                          const SamplingProfiler::Stats& stats) {
+    if (!profiler_started_) {
+      if (sampling()) {
+        json_.AddBool("profiler_unavailable", true);
+        json_.Add("profiler_unavailable_reason",
+                  SamplingProfiler::Get().unavailable_reason());
+      }
+      return;
+    }
+    Symbolizer symbolizer;
+    PhaseProfileStore store;
+    store.SetSamples(counts);
+    store.MergeSpans(dump);
+    const PhaseAttribution attribution = store.BuildAttribution(&symbolizer);
+    std::printf("== profile: per-phase attribution ==\n%s\n",
+                AttributionReportText(attribution).c_str());
+    json_.AddRaw("profiler", "{\"sampler\":" +
+                                 SamplerStatsJson(counts, stats) +
+                                 ",\"phases\":" +
+                                 AttributionJsonArray(attribution) + "}");
   }
 
   void AppendProfileJson(const TraceDump& dump) {
@@ -497,6 +650,9 @@ class ObsCli {
   std::string metrics_path_;
   std::string numa_json_;
   std::string numa_text_;
+  std::string profile_out_path_;
+  int64_t profile_sample_hz_ = 97;
+  bool profiler_started_ = false;
   bool profile_ = false;
   bool always_write_json_ = false;
   bool started_ = false;

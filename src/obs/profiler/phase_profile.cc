@@ -1,0 +1,424 @@
+#include "obs/profiler/phase_profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+
+#include "obs/profiler/phase_tag.h"
+
+namespace pbfs {
+namespace obs {
+namespace {
+
+constexpr char kLevelSuffix[] = ".level";
+constexpr char kUnattributed[] = "unattributed";
+
+// "ms-pbfs.level" -> "ms-pbfs"; non-level names pass through.
+std::string StripLevelSuffix(const char* span_name) {
+  std::string name(span_name == nullptr ? "" : span_name);
+  const size_t suffix = sizeof(kLevelSuffix) - 1;
+  if (name.size() > suffix &&
+      name.compare(name.size() - suffix, suffix, kLevelSuffix) == 0) {
+    name.resize(name.size() - suffix);
+  }
+  return name;
+}
+
+struct DecodedPhase {
+  std::string variant = kUnattributed;
+  int level = -1;
+  bool bottom_up = false;
+};
+
+DecodedPhase DecodeForRow(uint64_t phase_word) {
+  DecodedPhase out;
+  const BfsPhase phase = DecodePhaseWord(phase_word);
+  if (phase.active()) {
+    out.variant = StripLevelSuffix(phase.variant);
+    out.level = static_cast<int>(phase.level);
+    out.bottom_up = phase.bottom_up;
+  }
+  return out;
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendDouble(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  *out += buf;
+}
+
+std::string FrameName(Symbolizer* symbolizer, uintptr_t pc,
+                      bool return_address) {
+  if (symbolizer == nullptr) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%zx", static_cast<size_t>(pc));
+    return buf;
+  }
+  return symbolizer->Symbolize(pc, return_address);
+}
+
+}  // namespace
+
+std::string PhaseLabel(const std::string& variant, int level, bool bottom_up) {
+  if (level < 0) return variant;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/L%d/%s", level, bottom_up ? "bu" : "td");
+  return variant + buf;
+}
+
+void PhaseProfileStore::SetSamples(ProfileCounts counts) {
+  counts_ = std::move(counts);
+}
+
+void PhaseProfileStore::MergeSpans(const TraceDump& dump) {
+  const size_t suffix = sizeof(kLevelSuffix) - 1;
+  for (const TraceThreadDump& thread : dump.threads) {
+    for (const TraceEvent& event : thread.events) {
+      if (event.type != TraceEventType::kSpan || event.name == nullptr) {
+        continue;
+      }
+      const size_t len = std::strlen(event.name);
+      if (len <= suffix ||
+          std::strcmp(event.name + len - suffix, kLevelSuffix) != 0) {
+        continue;
+      }
+      const uint64_t level = event.Arg("level", ~uint64_t{0});
+      if (level == ~uint64_t{0}) continue;  // not a per-level kernel span
+      const PhaseKey key(StripLevelSuffix(event.name),
+                         static_cast<int>(level),
+                         event.Arg("bottom_up") != 0);
+      SpanAgg& agg = spans_[key];
+      ++agg.span_count;
+      agg.wall_ns += event.dur_ns;
+      agg.edges_scanned += event.Arg("edges_scanned");
+      const uint64_t cycles = event.Arg("cycles");
+      if (cycles > 0) {
+        agg.have_counters = true;
+        agg.cycles += cycles;
+        agg.instructions += event.Arg("instructions");
+        agg.llc_loads += event.Arg("llc_loads");
+        agg.llc_misses += event.Arg("llc_misses");
+      }
+    }
+  }
+}
+
+PhaseAttribution PhaseProfileStore::BuildAttribution(Symbolizer* symbolizer,
+                                                     int top_frames) const {
+  PhaseAttribution out;
+  out.total_samples = counts_.total_samples;
+  out.dropped = counts_.dropped;
+  out.truncated = counts_.truncated;
+
+  // Sample side: per-phase sample totals and leaf-frame histograms.
+  struct SampleAgg {
+    uint64_t samples = 0;
+    std::unordered_map<uintptr_t, uint64_t> leaf_counts;
+  };
+  std::map<PhaseKey, SampleAgg> by_phase;
+  uint64_t sample_sum = 0;
+  for (const ProfileCounts::Entry& entry : counts_.entries) {
+    const DecodedPhase decoded = DecodeForRow(entry.phase_word);
+    SampleAgg& agg =
+        by_phase[PhaseKey(decoded.variant, decoded.level, decoded.bottom_up)];
+    agg.samples += entry.count;
+    sample_sum += entry.count;
+    if (!entry.pcs.empty()) agg.leaf_counts[entry.pcs[0]] += entry.count;
+  }
+
+  // Union of both key sets.
+  std::map<PhaseKey, std::pair<const SampleAgg*, const SpanAgg*>> joined;
+  for (const auto& kv : by_phase) joined[kv.first].first = &kv.second;
+  for (const auto& kv : spans_) joined[kv.first].second = &kv.second;
+
+  uint64_t cycle_sum = 0;
+  for (const auto& kv : joined) {
+    if (kv.second.second != nullptr) cycle_sum += kv.second.second->cycles;
+  }
+
+  for (const auto& kv : joined) {
+    PhaseRow row;
+    row.variant = std::get<0>(kv.first);
+    row.level = std::get<1>(kv.first);
+    row.bottom_up = std::get<2>(kv.first);
+    if (kv.second.first != nullptr) {
+      row.samples = kv.second.first->samples;
+      if (sample_sum > 0) {
+        row.samples_pct = 100.0 * static_cast<double>(row.samples) /
+                          static_cast<double>(sample_sum);
+      }
+      // Top "self" frames: leaf PCs by sample count, merged by symbol
+      // name so code duplicated across PCs collapses to one entry.
+      std::vector<std::pair<uintptr_t, uint64_t>> leaves(
+          kv.second.first->leaf_counts.begin(),
+          kv.second.first->leaf_counts.end());
+      std::sort(leaves.begin(), leaves.end(),
+                [](const auto& a, const auto& b) { return a.second > b.second; });
+      std::map<std::string, uint64_t> named;
+      for (const auto& leaf : leaves) {
+        named[FrameName(symbolizer, leaf.first, false)] += leaf.second;
+      }
+      std::vector<std::pair<std::string, uint64_t>> ranked(named.begin(),
+                                                           named.end());
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) { return a.second > b.second; });
+      for (const auto& frame : ranked) {
+        if (static_cast<int>(row.top_frames.size()) >= top_frames) break;
+        row.top_frames.push_back(frame.first);
+      }
+    }
+    if (kv.second.second != nullptr) {
+      const SpanAgg& agg = *kv.second.second;
+      row.span_count = agg.span_count;
+      row.wall_ms = static_cast<double>(agg.wall_ns) / 1e6;
+      row.cycles = agg.cycles;
+      row.instructions = agg.instructions;
+      row.llc_loads = agg.llc_loads;
+      row.llc_misses = agg.llc_misses;
+      row.edges_scanned = agg.edges_scanned;
+      row.have_counters = agg.have_counters;
+      if (cycle_sum > 0) {
+        row.cycles_pct = 100.0 * static_cast<double>(row.cycles) /
+                         static_cast<double>(cycle_sum);
+      }
+    }
+    out.rows.push_back(std::move(row));
+  }
+
+  std::sort(out.rows.begin(), out.rows.end(),
+            [](const PhaseRow& a, const PhaseRow& b) {
+              if (a.cycles != b.cycles) return a.cycles > b.cycles;
+              if (a.samples != b.samples) return a.samples > b.samples;
+              return a.wall_ms > b.wall_ms;
+            });
+  return out;
+}
+
+std::string FoldedProfileText(const ProfileCounts& counts,
+                              Symbolizer* symbolizer) {
+  std::vector<std::string> lines;
+  lines.reserve(counts.entries.size());
+  for (const ProfileCounts::Entry& entry : counts.entries) {
+    if (entry.count == 0) continue;
+    const DecodedPhase decoded = DecodeForRow(entry.phase_word);
+    std::string line =
+        PhaseLabel(decoded.variant, decoded.level, decoded.bottom_up);
+    if (entry.pcs.empty()) {
+      line += ";[truncated]";
+    } else {
+      // pcs are leaf-first; folded format wants root -> leaf.
+      for (size_t i = entry.pcs.size(); i-- > 0;) {
+        std::string frame =
+            FrameName(symbolizer, entry.pcs[i], /*return_address=*/i != 0);
+        std::replace(frame.begin(), frame.end(), ';', ',');
+        line += ';';
+        line += frame;
+      }
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %llu",
+                  static_cast<unsigned long long>(entry.count));
+    line += buf;
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string AttributionJsonArray(const PhaseAttribution& attribution) {
+  std::string out = "[";
+  bool first = true;
+  for (const PhaseRow& row : attribution.rows) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"phase\":\"";
+    AppendJsonEscaped(&out, PhaseLabel(row.variant, row.level, row.bottom_up));
+    out += "\",\"variant\":\"";
+    AppendJsonEscaped(&out, row.variant);
+    out += "\",\"level\":";
+    out += std::to_string(row.level);
+    out += ",\"direction\":\"";
+    out += row.level < 0 ? "none" : (row.bottom_up ? "bottom_up" : "top_down");
+    out += "\",\"samples\":";
+    out += std::to_string(row.samples);
+    out += ",\"samples_pct\":";
+    AppendDouble(&out, row.samples_pct);
+    out += ",\"span_count\":";
+    out += std::to_string(row.span_count);
+    out += ",\"wall_ms\":";
+    AppendDouble(&out, row.wall_ms);
+    out += ",\"cycles\":";
+    out += std::to_string(row.cycles);
+    out += ",\"cycles_pct\":";
+    AppendDouble(&out, row.cycles_pct);
+    out += ",\"instructions\":";
+    out += std::to_string(row.instructions);
+    out += ",\"edges_scanned\":";
+    out += std::to_string(row.edges_scanned);
+    if (row.have_counters && row.cycles > 0) {
+      out += ",\"ipc\":";
+      AppendDouble(&out, static_cast<double>(row.instructions) /
+                             static_cast<double>(row.cycles));
+    }
+    if (row.have_counters && row.llc_loads > 0) {
+      out += ",\"llc_miss_rate\":";
+      AppendDouble(&out, static_cast<double>(row.llc_misses) /
+                             static_cast<double>(row.llc_loads));
+    }
+    if (row.have_counters && row.edges_scanned > 0) {
+      // 64-byte lines missed in LLC per edge probe: the paper's
+      // bandwidth-boundedness argument, per phase.
+      out += ",\"llc_bytes_per_edge\":";
+      AppendDouble(&out, 64.0 * static_cast<double>(row.llc_misses) /
+                             static_cast<double>(row.edges_scanned));
+    }
+    out += ",\"top_frames\":[";
+    for (size_t i = 0; i < row.top_frames.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"";
+      AppendJsonEscaped(&out, row.top_frames[i]);
+      out += "\"";
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string SamplerStatsJson(const ProfileCounts& counts,
+                             const SamplingProfiler::Stats& stats) {
+  std::string out = "{\"backend\":\"";
+  out += stats.backend;
+  out += "\",\"sample_hz\":";
+  out += std::to_string(stats.sample_hz);
+  out += ",\"samples\":";
+  out += std::to_string(counts.SampleSum());
+  out += ",\"dropped\":";
+  out += std::to_string(counts.dropped);
+  out += ",\"truncated\":";
+  out += std::to_string(counts.truncated);
+  out += ",\"unique_stacks\":";
+  out += std::to_string(counts.entries.size());
+  out += ",\"overhead_frac\":";
+  AppendDouble(&out, stats.overhead_frac);
+  out += "}";
+  return out;
+}
+
+std::string ProfileJson(const ProfileCounts& counts,
+                        const SamplingProfiler::Stats& stats,
+                        const PhaseAttribution& attribution,
+                        Symbolizer* symbolizer) {
+  std::string out = "{\"sampler\":";
+  out += SamplerStatsJson(counts, stats);
+  out += ",\"phases\":";
+  out += AttributionJsonArray(attribution);
+  out += ",\"stacks\":[";
+  bool first = true;
+  for (const ProfileCounts::Entry& entry : counts.entries) {
+    if (entry.count == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    const DecodedPhase decoded = DecodeForRow(entry.phase_word);
+    out += "{\"phase\":\"";
+    AppendJsonEscaped(
+        &out, PhaseLabel(decoded.variant, decoded.level, decoded.bottom_up));
+    out += "\",\"count\":";
+    out += std::to_string(entry.count);
+    out += ",\"frames\":[";
+    if (entry.pcs.empty()) {
+      out += "\"[truncated]\"";
+    } else {
+      for (size_t i = 0; i < entry.pcs.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "\"";
+        AppendJsonEscaped(&out, FrameName(symbolizer, entry.pcs[i],
+                                          /*return_address=*/i != 0));
+        out += "\"";
+      }
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string AttributionReportText(const PhaseAttribution& attribution,
+                                  size_t max_rows) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-24s %9s %6s %12s %6s %9s %10s  %s\n",
+                "phase", "samples", "smp%", "cycles", "ipc", "llcB/edge",
+                "wall_ms", "top frames");
+  out += buf;
+  size_t shown = 0;
+  for (const PhaseRow& row : attribution.rows) {
+    if (shown++ >= max_rows) break;
+    const std::string label =
+        PhaseLabel(row.variant, row.level, row.bottom_up);
+    char ipc[16] = "-";
+    if (row.have_counters && row.cycles > 0) {
+      std::snprintf(ipc, sizeof(ipc), "%.2f",
+                    static_cast<double>(row.instructions) /
+                        static_cast<double>(row.cycles));
+    }
+    char bpe[16] = "-";
+    if (row.have_counters && row.edges_scanned > 0) {
+      std::snprintf(bpe, sizeof(bpe), "%.2f",
+                    64.0 * static_cast<double>(row.llc_misses) /
+                        static_cast<double>(row.edges_scanned));
+    }
+    std::string frames;
+    for (size_t i = 0; i < row.top_frames.size(); ++i) {
+      if (i > 0) frames += " | ";
+      frames += row.top_frames[i];
+    }
+    // Frames (demangled template soup) can be arbitrarily long; keep
+    // them out of the fixed buffer so truncation can't eat the newline.
+    std::snprintf(buf, sizeof(buf),
+                  "%-24s %9llu %5.1f%% %12llu %6s %9s %10.2f  ",
+                  label.c_str(), static_cast<unsigned long long>(row.samples),
+                  row.samples_pct, static_cast<unsigned long long>(row.cycles),
+                  ipc, bpe, row.wall_ms);
+    out += buf;
+    out += frames;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace pbfs

@@ -1,0 +1,80 @@
+#include "obs/profiler/phase_tag.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace pbfs {
+namespace obs {
+namespace {
+
+constexpr int kMaxPhaseNames = 64;
+
+constexpr uint64_t kActiveBit = 1ull << 63;
+constexpr uint64_t kBottomUpBit = 1ull << 62;
+constexpr int kLevelShift = 32;
+constexpr uint64_t kLevelMask = 0xffff;
+constexpr uint64_t kNameMask = 0xff;
+
+// Append-only interning table. Slots are claimed with a CAS on the
+// pointer; readers only ever see nullptr or a fully published literal,
+// so no further synchronization is needed.
+std::atomic<const char*> g_names[kMaxPhaseNames];
+
+// The one global phase word. Relaxed everywhere: the consumer is a
+// statistical sampler, a stale read for a few nanoseconds is noise.
+std::atomic<uint64_t> g_phase{0};
+
+}  // namespace
+
+int InternPhaseName(const char* name) {
+  if (name == nullptr) return -1;
+  for (int i = 0; i < kMaxPhaseNames; ++i) {
+    const char* have = g_names[i].load(std::memory_order_acquire);
+    if (have == nullptr) {
+      const char* expected = nullptr;
+      if (g_names[i].compare_exchange_strong(expected, name,
+                                             std::memory_order_acq_rel)) {
+        return i;
+      }
+      have = expected;  // lost the race; fall through to compare
+    }
+    if (have == name || std::strcmp(have, name) == 0) return i;
+  }
+  return -1;
+}
+
+const char* PhaseNameByIndex(int index) {
+  if (index < 0 || index >= kMaxPhaseNames) return nullptr;
+  return g_names[index].load(std::memory_order_acquire);
+}
+
+void SetCurrentBfsPhase(const char* variant_span_name, uint32_t level,
+                        bool bottom_up) {
+  const int idx = InternPhaseName(variant_span_name);
+  if (idx < 0) {
+    g_phase.store(0, std::memory_order_relaxed);
+    return;
+  }
+  uint64_t word = kActiveBit;
+  if (bottom_up) word |= kBottomUpBit;
+  const uint64_t lvl = level > kLevelMask ? kLevelMask : level;
+  word |= lvl << kLevelShift;
+  word |= static_cast<uint64_t>(idx) & kNameMask;
+  g_phase.store(word, std::memory_order_relaxed);
+}
+
+void ClearCurrentBfsPhase() { g_phase.store(0, std::memory_order_relaxed); }
+
+uint64_t CurrentPhaseWord() { return g_phase.load(std::memory_order_relaxed); }
+
+BfsPhase DecodePhaseWord(uint64_t word) {
+  BfsPhase phase;
+  if ((word & kActiveBit) == 0) return phase;
+  phase.variant = PhaseNameByIndex(static_cast<int>(word & kNameMask));
+  phase.level = static_cast<uint32_t>((word >> kLevelShift) & kLevelMask);
+  phase.bottom_up = (word & kBottomUpBit) != 0;
+  return phase;
+}
+
+}  // namespace obs
+}  // namespace pbfs

@@ -1,0 +1,181 @@
+#include "obs/profiler/symbolize.h"
+
+#include <cxxabi.h>
+#include <elf.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace pbfs {
+namespace obs {
+namespace {
+
+// Reads `count` bytes at `offset`, returning false on any short read.
+bool ReadAt(std::ifstream& file, uint64_t offset, void* out, size_t count) {
+  file.clear();
+  file.seekg(static_cast<std::streamoff>(offset));
+  file.read(static_cast<char*>(out), static_cast<std::streamsize>(count));
+  return file.good() &&
+         file.gcount() == static_cast<std::streamsize>(count);
+}
+
+}  // namespace
+
+std::string DemangleSymbol(const char* mangled) {
+  int status = 0;
+  char* demangled = abi::__cxa_demangle(mangled, nullptr, nullptr, &status);
+  if (status == 0 && demangled != nullptr) {
+    std::string out(demangled);
+    std::free(demangled);
+    return out;
+  }
+  std::free(demangled);
+  return mangled;
+}
+
+Symbolizer::Symbolizer() {
+  LoadMaps();
+  std::sort(symbols_.begin(), symbols_.end(),
+            [](const Sym& a, const Sym& b) { return a.addr < b.addr; });
+}
+
+void Symbolizer::LoadMaps() {
+  std::ifstream maps("/proc/self/maps");
+  if (!maps) return;
+  std::string line;
+  while (std::getline(maps, line)) {
+    // start-end perms offset dev inode path
+    uintptr_t start = 0;
+    uintptr_t end = 0;
+    char perms[8] = {0};
+    uint64_t offset = 0;
+    int path_pos = -1;
+    if (std::sscanf(line.c_str(), "%lx-%lx %7s %lx %*s %*s %n",
+                    reinterpret_cast<unsigned long*>(&start),
+                    reinterpret_cast<unsigned long*>(&end), perms,
+                    reinterpret_cast<unsigned long*>(&offset),
+                    &path_pos) < 4) {
+      continue;
+    }
+    if (std::strchr(perms, 'x') == nullptr) continue;
+    if (path_pos < 0 || path_pos >= static_cast<int>(line.size())) continue;
+    const std::string path = line.substr(static_cast<size_t>(path_pos));
+    if (path.empty() || path[0] != '/') continue;  // [vdso], anon, ...
+    LoadModule(path, start, offset);
+  }
+}
+
+void Symbolizer::LoadModule(const std::string& path, uintptr_t map_start,
+                            uint64_t map_offset) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return;
+  Elf64_Ehdr ehdr;
+  if (!ReadAt(file, 0, &ehdr, sizeof(ehdr))) return;
+  if (std::memcmp(ehdr.e_ident, ELFMAG, SELFMAG) != 0) return;
+  if (ehdr.e_ident[EI_CLASS] != ELFCLASS64) return;
+
+  // Load bias: the vaddr the file was linked for vs. where the mapping
+  // actually landed. Find the PT_LOAD covering this mapping's file
+  // offset; for ET_EXEC the formula comes out 0.
+  int64_t bias = 0;
+  bool bias_found = false;
+  for (uint16_t i = 0; i < ehdr.e_phnum; ++i) {
+    Elf64_Phdr phdr;
+    if (!ReadAt(file, ehdr.e_phoff + static_cast<uint64_t>(i) * ehdr.e_phentsize,
+                &phdr, sizeof(phdr))) {
+      return;
+    }
+    if (phdr.p_type != PT_LOAD) continue;
+    if (map_offset >= phdr.p_offset &&
+        map_offset < phdr.p_offset + phdr.p_filesz) {
+      bias = static_cast<int64_t>(map_start) -
+             static_cast<int64_t>(phdr.p_vaddr + (map_offset - phdr.p_offset));
+      bias_found = true;
+      break;
+    }
+  }
+  if (!bias_found) return;
+
+  // Prefer .symtab (full, includes static functions); fall back to
+  // .dynsym for stripped modules.
+  Elf64_Shdr symtab;
+  bool have_symtab = false;
+  Elf64_Shdr dynsym;
+  bool have_dynsym = false;
+  for (uint16_t i = 0; i < ehdr.e_shnum; ++i) {
+    Elf64_Shdr shdr;
+    if (!ReadAt(file, ehdr.e_shoff + static_cast<uint64_t>(i) * ehdr.e_shentsize,
+                &shdr, sizeof(shdr))) {
+      return;
+    }
+    if (shdr.sh_type == SHT_SYMTAB) {
+      symtab = shdr;
+      have_symtab = true;
+    } else if (shdr.sh_type == SHT_DYNSYM) {
+      dynsym = shdr;
+      have_dynsym = true;
+    }
+  }
+  const Elf64_Shdr* table =
+      have_symtab ? &symtab : (have_dynsym ? &dynsym : nullptr);
+  if (table == nullptr || table->sh_entsize == 0) return;
+
+  Elf64_Shdr strtab;
+  if (!ReadAt(file,
+              ehdr.e_shoff + static_cast<uint64_t>(table->sh_link) *
+                                 ehdr.e_shentsize,
+              &strtab, sizeof(strtab))) {
+    return;
+  }
+  std::vector<char> strings(strtab.sh_size);
+  if (strtab.sh_size == 0 ||
+      !ReadAt(file, strtab.sh_offset, strings.data(), strings.size())) {
+    return;
+  }
+  const uint64_t count = table->sh_size / table->sh_entsize;
+  std::vector<Elf64_Sym> syms(count);
+  if (count == 0 ||
+      !ReadAt(file, table->sh_offset, syms.data(),
+              count * sizeof(Elf64_Sym))) {
+    return;
+  }
+  for (const Elf64_Sym& sym : syms) {
+    if (ELF64_ST_TYPE(sym.st_info) != STT_FUNC) continue;
+    if (sym.st_value == 0) continue;
+    if (sym.st_name == 0 || sym.st_name >= strings.size()) continue;
+    const char* name = strings.data() + sym.st_name;
+    if (name[0] == '\0') continue;
+    Sym out;
+    out.addr = static_cast<uintptr_t>(static_cast<int64_t>(sym.st_value) +
+                                      bias);
+    out.size = sym.st_size;
+    out.name = name;
+    symbols_.push_back(std::move(out));
+  }
+}
+
+std::string Symbolizer::Symbolize(uintptr_t pc, bool return_address) {
+  const uintptr_t lookup = return_address && pc > 0 ? pc - 1 : pc;
+  auto it = std::upper_bound(
+      symbols_.begin(), symbols_.end(), lookup,
+      [](uintptr_t value, const Sym& sym) { return value < sym.addr; });
+  if (it != symbols_.begin()) {
+    --it;
+    const uint64_t gap = lookup - it->addr;
+    // Accept hits inside the symbol, or — for size-0 assembly/thunk
+    // symbols — within a sane distance of it.
+    if ((it->size > 0 && gap < it->size) ||
+        (it->size == 0 && gap < (1u << 20))) {
+      return DemangleSymbol(it->name.c_str());
+    }
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%zx", static_cast<size_t>(pc));
+  return buf;
+}
+
+}  // namespace obs
+}  // namespace pbfs

@@ -1,0 +1,65 @@
+// In-process symbolization for profiler PCs, without libbfd/libdw.
+//
+// dladdr(3) only sees exported dynamic symbols, which in a mostly
+// statically linked PIE binary means nearly nothing — every kernel
+// function would render as "pbfs_bench+0x1a2b40". So this parses
+// /proc/self/maps for the executable mappings, reads each backing
+// ELF's .symtab + .dynsym (STT_FUNC entries only), computes the
+// runtime load bias from the PT_LOAD headers, and binary-searches
+// PCs against the sorted table. C++ names are demangled via
+// abi::__cxa_demangle.
+//
+// All of this is render-time work: the signal handler records raw PCs
+// and the Symbolizer runs when a profile is exported. Lookups are
+// cached per instance; an instance is cheap enough to build per export.
+//
+// Return-address PCs point *after* the call instruction, so lookups
+// subtract 1 for every frame except the leaf (the interrupted PC).
+#ifndef PBFS_OBS_PROFILER_SYMBOLIZE_H_
+#define PBFS_OBS_PROFILER_SYMBOLIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pbfs {
+namespace obs {
+
+class Symbolizer {
+ public:
+  // Parses /proc/self/maps and the ELF symbol tables of every
+  // executable mapping. Failures degrade per-module: a module whose
+  // ELF cannot be read just symbolizes to hex offsets.
+  Symbolizer();
+
+  // Human-readable name for `pc` ("pbfs::MsPbfs::RunLevel" or
+  // "0x7f3a12b4" when unknown). `return_address` subtracts 1 before
+  // the lookup (use for every non-leaf frame).
+  std::string Symbolize(uintptr_t pc, bool return_address);
+
+  // Number of function symbols loaded (0 = fully degraded).
+  size_t symbol_count() const { return symbols_.size(); }
+
+ private:
+  struct Sym {
+    uintptr_t addr;  // runtime (bias-applied) address
+    uint64_t size;   // 0 = extends to the next symbol
+    std::string name;
+  };
+
+  void LoadMaps();
+  void LoadModule(const std::string& path, uintptr_t map_start,
+                  uint64_t map_offset);
+
+  std::vector<Sym> symbols_;  // sorted by addr
+};
+
+// Convenience used by tests and the folded exporter: demangles a
+// mangled C++ name, returning the input unchanged when it is not a
+// mangled name.
+std::string DemangleSymbol(const char* mangled);
+
+}  // namespace obs
+}  // namespace pbfs
+
+#endif  // PBFS_OBS_PROFILER_SYMBOLIZE_H_

@@ -6,6 +6,7 @@
 #include "util/check.h"
 
 #ifdef PBFS_TRACING
+#include "obs/profiler/sampling_profiler.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 #endif
@@ -68,6 +69,9 @@ void WorkerPool::WorkerMain(int worker_id, int cpu) {
   if (cpu >= 0) PinCurrentThreadToCpu(cpu);
 #ifdef PBFS_TRACING
   obs::Tracer::SetThreadLabel("worker", worker_id);
+  // Give the sampling profiler a ring (and stack bounds) for this
+  // worker; a no-op unless/until a profiling session starts.
+  obs::SamplingProfiler::RegisterCurrentThread();
 #endif
   uint64_t seen_epoch = 0;
   for (;;) {

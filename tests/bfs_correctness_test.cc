@@ -264,8 +264,13 @@ INSTANTIATE_TEST_SUITE_P(
                       MsCase{64, 2}, MsCase{64, 4}, MsCase{128, 4},
                       MsCase{256, 4}, MsCase{512, 3}, MsCase{64, 7}),
     [](const ::testing::TestParamInfo<MsCase>& info) {
-      return "w" + std::to_string(info.param.width) + "_t" +
-             std::to_string(info.param.threads);
+      // Append steps, not one operator+ chain: the chain trips a GCC 12
+      // -Wrestrict false positive at -O2.
+      std::string name = "w";
+      name += std::to_string(info.param.width);
+      name += "_t";
+      name += std::to_string(info.param.threads);
+      return name;
     });
 
 TEST(MultiSourceTest, FullWidthBatch) {

@@ -31,8 +31,10 @@
 #include "obs/live/http_server.h"
 #include "obs/live/metrics_registry.h"
 #include "obs/live/stall_watchdog.h"
+#include "obs/obs_cli.h"
 #include "obs/trace.h"
 #include "sched/worker_pool.h"
+#include "util/flags.h"
 #include "util/timer.h"
 #endif
 
@@ -229,6 +231,43 @@ TEST(MetricsHttpServerTest, ServesRoutesAndErrors) {
   server.Stop();
   server.Stop();  // idempotent
   EXPECT_FALSE(server.running());
+}
+
+// /debug/vars through the full ObsCli wiring: the aggregated metrics
+// snapshot as JSON, with the same method/path error behavior as
+// /metrics; /debug/pprof degrades to an explicit 503 when sampling was
+// disabled instead of serving an empty profile.
+TEST(MetricsHttpServerTest, ObsCliServesDebugVarsAndPprofDegrades) {
+  obs::ObsCli cli("debug_vars_test");
+  FlagParser flags("test");
+  cli.Register(&flags);
+  const char* argv[] = {"test", "--serve-metrics=0", "--profile-sample-hz=0",
+                        "--watchdog-dump-dir="};
+  flags.Parse(4, const_cast<char**>(argv));
+  cli.Start();
+  const int port = cli.metrics_port();
+  ASSERT_GT(port, 0);
+
+  const std::string vars =
+      HttpRequest(port, "GET /debug/vars HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_TRUE(Contains(vars, "HTTP/1.1 200 OK"));
+  EXPECT_TRUE(Contains(vars, "Content-Type: application/json"));
+  EXPECT_TRUE(Contains(vars, "\"num_threads\""));
+  EXPECT_TRUE(Contains(vars, "\"entries\""));
+  EXPECT_TRUE(Contains(
+      HttpRequest(port, "POST /debug/vars HTTP/1.1\r\nHost: t\r\n\r\n"),
+      "HTTP/1.1 405"));
+  EXPECT_TRUE(Contains(
+      HttpRequest(port, "GET /debug/var HTTP/1.1\r\nHost: t\r\n\r\n"),
+      "HTTP/1.1 404"));
+
+  const std::string pprof =
+      HttpRequest(port, "GET /debug/pprof HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_TRUE(Contains(pprof, "HTTP/1.1 503"));
+  EXPECT_TRUE(Contains(pprof, "profiler_unavailable"));
+
+  cli.Finish();
+  EXPECT_EQ(cli.metrics_port(), -1);
 }
 
 // ---- Stall watchdog, driven deterministically ----

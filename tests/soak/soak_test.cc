@@ -26,6 +26,9 @@
 //   PBFS_SOAK_TRACE_RETAINED      flight-recorder ring cap (default 128Ki)
 //   PBFS_SOAK_STATS_JSON          write run summary JSON here (optional)
 //   PBFS_SOAK_SLOWLOG             write slow-query JSON lines here (optional)
+//   PBFS_SOAK_PROFILE_OUT         sample the whole soak and write the
+//                                 folded stacks here (optional;
+//                                 diffable with perf_attribution.py)
 //   PBFS_DIFF_SEED                corpus seed (printed in every banner)
 //
 // Tracing builds additionally gate the tail-retention contract: every
@@ -77,6 +80,9 @@
 #include "obs/live/http_server.h"
 #include "obs/live/metrics_registry.h"
 #include "obs/live/stall_watchdog.h"
+#include "obs/profiler/phase_profile.h"
+#include "obs/profiler/sampling_profiler.h"
+#include "obs/profiler/symbolize.h"
 #include "obs/query_trace.h"
 #endif
 
@@ -299,6 +305,21 @@ TEST(SoakTest, MixedWorkloadWithChurnMatchesVersionedOracle) {
     return response;
   });
   ASSERT_TRUE(http.Start(/*port=*/0)) << note;
+
+  // Continuous profiling over the whole soak: sample every thread (the
+  // pool workers register themselves at spawn) and dump the folded
+  // stacks as a nightly artifact. Degrades loudly but does not gate —
+  // a perf-denied runner still soaks.
+  const char* profile_out = std::getenv("PBFS_SOAK_PROFILE_OUT");
+  bool profiler_on = false;
+  if (profile_out != nullptr && profile_out[0] != '\0') {
+    obs::SamplingProfiler::RegisterCurrentThread();
+    profiler_on = obs::SamplingProfiler::Get().Start();
+    if (!profiler_on) {
+      std::fprintf(stderr, "soak: profiler unavailable: %s\n",
+                   obs::SamplingProfiler::Get().unavailable_reason());
+    }
+  }
 #endif
 
   VersionedOracle oracle;
@@ -621,6 +642,20 @@ TEST(SoakTest, MixedWorkloadWithChurnMatchesVersionedOracle) {
         static_cast<unsigned long long>(covered),
         static_cast<unsigned long long>(scrapes.load()));
     stats_out << line;
+  }
+  if (profiler_on) {
+    const obs::ProfileCounts prof = obs::SamplingProfiler::Get().Snapshot();
+    const obs::SamplingProfiler::Stats prof_stats =
+        obs::SamplingProfiler::Get().stats();
+    obs::SamplingProfiler::Get().Stop();
+    obs::Symbolizer symbolizer;
+    std::ofstream prof_out(profile_out, std::ios::trunc);
+    prof_out << obs::FoldedProfileText(prof, &symbolizer);
+    std::printf("soak: profile %llu samples (%s backend, %.2f%% overhead) "
+                "-> %s\n",
+                static_cast<unsigned long long>(prof.SampleSum()),
+                prof_stats.backend, 100.0 * prof_stats.overhead_frac,
+                profile_out);
   }
   watchdog.Stop();
   http.Stop();
